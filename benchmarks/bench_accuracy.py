@@ -1,0 +1,29 @@
+"""Accuracy evaluation — overlap recall/precision and layout quality.
+
+The paper defers accuracy to the BELLA paper ("the accuracy of our tool for
+CLR input is reported in the single node BELLA paper", Section VI).  With
+simulated reads the ground truth is available, so this bench scores the
+pipeline directly: recall/precision of the overlap graph against true
+overlapping pairs, and contiguity/misjoin statistics of the final layout.
+Expected shapes: recall > 0.9 on the dovetail-proper pairs, zero misjoins
+on the contig walks.
+"""
+
+from repro.eval.experiments import accuracy_table
+from repro.eval.report import format_table
+
+
+def test_accuracy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: accuracy_table(("toy", "ecoli_like")),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        columns=["dataset", "recall", "precision", "contig_n50_bp",
+                 "genome_coverage", "misjoins"],
+        title="Accuracy: overlap detection + layout vs ground truth"))
+    for r in rows:
+        assert r["recall"] > 0.6       # dovetail-only graph vs all pairs
+        assert r["precision"] > 0.7
+        assert r["genome_coverage"] > 0.5

@@ -1,0 +1,49 @@
+"""Fig. 4 — strong scaling of diBELLA 2D on both machine models.
+
+Regenerates the scaling series (modeled total runtime vs process count) for
+the C. elegans-like and H. sapiens-like datasets on the Cori Haswell and
+Summit CPU models.  Paper shapes: near-linear scaling with parallel
+efficiency above ~50% at the largest scaled concurrency (the paper reports
+68–92% at its node counts; the scaled datasets are far smaller, so per-rank
+work — and thus efficiency at the top end — is proportionally lower).
+"""
+
+from repro.eval.experiments import fig4_strong_scaling
+from repro.eval.report import format_table
+
+PROCS = (1, 4, 16, 36)
+
+
+def test_fig4_strong_scaling_celegans(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_strong_scaling("celegans_like", procs=PROCS),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows, columns=["dataset", "machine", "P", "seconds", "efficiency"],
+        title="Fig. 4 (left): strong scaling, C. elegans-like"))
+    _assert_scaling(rows)
+
+
+def test_fig4_strong_scaling_hsapiens(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_strong_scaling("hsapiens_like", procs=PROCS),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows, columns=["dataset", "machine", "P", "seconds", "efficiency"],
+        title="Fig. 4 (right): strong scaling, H. sapiens-like"))
+    _assert_scaling(rows)
+
+
+def _assert_scaling(rows):
+    for machine in {r["machine"] for r in rows}:
+        series = sorted((r for r in rows if r["machine"] == machine),
+                        key=lambda r: r["P"])
+        times = [r["seconds"] for r in series]
+        # Monotone decrease through the sweep (strong scaling holds).
+        assert times[-1] < times[0]
+        assert all(b <= a * 1.1 for a, b in zip(times, times[1:]))
+        # Meaningful efficiency at moderate scale.
+        eff_at_16 = [r["efficiency"] for r in series if r["P"] == 16][0]
+        assert eff_at_16 > 0.25

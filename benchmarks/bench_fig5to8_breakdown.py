@@ -1,0 +1,66 @@
+"""Figs. 5–8 — runtime breakdown per pipeline stage.
+
+Regenerates the stacked-bar data: per-stage modeled seconds for each process
+count, per machine model and dataset, with and without the alignment layer
+(the paper shows both because alignment dominates).  Paper shapes: SpGEMM is
+the largest non-alignment stage; CreateSpMat is negligible; every stage
+shrinks as P grows except the (comm-bound) exchanges, which flatten.
+"""
+
+from repro.eval.experiments import fig5to8_breakdown, pipeline_for_preset
+from repro.eval.report import format_table
+from repro.mpisim.machine import MACHINES
+
+PROCS = (4, 16, 36)
+
+
+def _run(dataset: str, machine: str, fig: str):
+    rows = fig5to8_breakdown(dataset, procs=PROCS, machine_name=machine)
+    print()
+    print(format_table(
+        rows, columns=["dataset", "machine", "P", "stage", "seconds"],
+        title=f"Fig. {fig}: runtime breakdown ({dataset} on {machine})"))
+    # Also print the no-alignment view (the right-hand plots of Figs. 5–8).
+    noalign = [r for r in rows if r["stage"] != "Alignment"]
+    print(format_table(
+        noalign, columns=["dataset", "machine", "P", "stage", "seconds"],
+        title=f"Fig. {fig} (right): excluding pairwise alignment"))
+    return rows
+
+
+def test_fig5_breakdown_cori_celegans(benchmark):
+    rows = benchmark.pedantic(lambda: _run("celegans_like", "cori", "5"),
+                              rounds=1, iterations=1)
+    _assert_breakdown(rows)
+
+
+def test_fig6_breakdown_summit_celegans(benchmark):
+    rows = benchmark.pedantic(lambda: _run("celegans_like", "summit", "6"),
+                              rounds=1, iterations=1)
+    _assert_breakdown(rows)
+
+
+def test_fig7_breakdown_cori_hsapiens(benchmark):
+    rows = benchmark.pedantic(lambda: _run("hsapiens_like", "cori", "7"),
+                              rounds=1, iterations=1)
+    _assert_breakdown(rows)
+
+
+def test_fig8_breakdown_summit_hsapiens(benchmark):
+    rows = benchmark.pedantic(lambda: _run("hsapiens_like", "summit", "8"),
+                              rounds=1, iterations=1)
+    _assert_breakdown(rows)
+
+
+def _assert_breakdown(rows):
+    stages_at = {}
+    for r in rows:
+        stages_at.setdefault(r["P"], {})[r["stage"]] = r["seconds"]
+    for P, st in stages_at.items():
+        assert st.get("SpGEMM", 0) > 0
+        assert st.get("TrReduction", 0) > 0
+    # Total (ex-alignment) shrinks with P.
+    totals = {P: sum(v for k, v in st.items() if k != "Alignment")
+              for P, st in stages_at.items()}
+    ps = sorted(totals)
+    assert totals[ps[-1]] < totals[ps[0]]

@@ -1,0 +1,32 @@
+"""Table IV — dataset statistics.
+
+Regenerates the dataset summary (depth, reads, mean length, input size,
+genome size, error rate) for the scaled presets standing in for the paper's
+PacBio CLR read sets.  The scaling rules (DESIGN.md §2) keep depth, error
+rate and the H. sapiens/C. elegans ratios; absolute sizes shrink ~10³×.
+"""
+
+from repro.eval.experiments import table4_datasets
+from repro.eval.report import format_table
+
+
+def test_table4_datasets(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table4_datasets(("ecoli_like", "celegans_like",
+                                 "hsapiens_like")),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        columns=["label", "depth", "reads_K", "mean_length", "input_MB",
+                 "genome_size_Kb", "error"],
+        title="Table IV: datasets (scaled presets)"))
+
+    by = {r["label"]: r for r in rows}
+    assert by["C. elegans"]["depth"] == 40
+    assert by["H. sapiens"]["depth"] == 10
+    assert by["H. sapiens"]["error"] == 0.15
+    # H. sapiens is the largest genome, C. elegans the deepest coverage.
+    assert by["H. sapiens"]["genome_size_Kb"] > \
+        by["C. elegans"]["genome_size_Kb"]
+    assert by["C. elegans"]["input_MB"] > by["E. coli"]["input_MB"]

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Strip-mined overlap detection (the paper's Section VIII future work).
+
+Demonstrates forming the candidate matrix C in column strips — aligning and
+pruning each strip before moving to the next — so the peak number of live
+candidate entries (the memory high-water mark that limits low-concurrency
+runs of large genomes) drops with the strip count while the final overlap
+matrix stays bit-identical.
+
+Usage::
+
+    python examples/memory_reduction.py
+"""
+
+from repro.core.blocked import candidate_overlaps_blocked
+from repro.core.overlap import build_a_matrix
+from repro.core.string_graph import StringGraph
+from repro.core.transitive_reduction import transitive_reduction
+from repro.eval import load_preset
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
+from repro.seqs.kmer_counter import count_kmers, reliable_upper_bound
+
+
+def main() -> None:
+    preset, _genome, reads, _layout = load_preset("toy")
+    P = 4
+    comm = SimComm(P, CommTracker(P))
+    timer = StageTimer()
+    upper = reliable_upper_bound(preset.depth, preset.error_rate, 17)
+    table = count_kmers(reads, 17, comm, timer, upper=upper)
+    A = build_a_matrix(reads, table, ProcessGrid2D(P), comm, timer)
+    print(f"{len(reads)} reads, {len(table):,} reliable k-mers, "
+          f"nnz(A) = {A.nnz():,}\n")
+
+    print(f"{'strips':>6s} {'peak C entries':>15s} {'of total':>9s} "
+          f"{'R entries':>10s} {'S entries':>10s}")
+    reference = None
+    for strips in (1, 2, 4, 8, 16):
+        res = candidate_overlaps_blocked(A, reads, 17, comm, strips, timer,
+                                         mode="chain")
+        tr = transitive_reduction(res.R.copy(), comm, timer, fuzz=150)
+        frac = res.peak_strip_nnz / max(1, res.nnz_c)
+        print(f"{strips:6d} {res.peak_strip_nnz:15,d} {frac:9.1%} "
+              f"{res.R.nnz():10,d} {tr.S.nnz():10,d}")
+        edges = StringGraph.from_coomat(res.R.to_global()).edge_set()
+        if reference is None:
+            reference = edges
+        assert edges == reference, "strip count must not change the result"
+    print("\nR identical for every strip count; peak memory scales down "
+          "with strips (Section VIII's proposal).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Strong-scaling study on the simulated runtime (the Fig. 4 workflow).
+
+Runs the pipeline at increasing process-grid sizes on one dataset and prints
+the modeled runtimes, parallel efficiencies, and the measured per-rank
+communication volumes that drive them — the workflow behind the paper's
+Fig. 4 and Table I, at laptop scale.
+
+Usage::
+
+    python examples/scaling_study.py [preset] [P1,P2,...]
+
+e.g. ``python examples/scaling_study.py ecoli_like 1,4,16``.
+"""
+
+import sys
+
+from repro import CORI_HASWELL, SUMMIT_CPU, PipelineConfig, run_pipeline
+from repro.eval import load_preset, parallel_efficiency
+
+
+def main(argv: list[str]) -> None:
+    preset_name = argv[1] if len(argv) > 1 else "toy"
+    procs = ([int(x) for x in argv[2].split(",")] if len(argv) > 2
+             else [1, 4, 16])
+
+    preset, _genome, reads, _layout = load_preset(preset_name)
+    print(f"Dataset {preset.name}: {len(reads)} reads, depth {preset.depth}")
+
+    results = []
+    for P in procs:
+        cfg = PipelineConfig(k=17, nprocs=P, align_mode="chain",
+                             depth_hint=preset.depth,
+                             error_hint=preset.error_rate)
+        results.append(run_pipeline(reads, cfg))
+        print(f"  ran P={P}")
+
+    for machine in (CORI_HASWELL, SUMMIT_CPU):
+        times = [r.modeled_total(machine) for r in results]
+        effs = parallel_efficiency(procs, times)
+        print(f"\n{machine.name}:")
+        print(f"  {'P':>4s} {'seconds':>10s} {'efficiency':>10s}")
+        for P, t, e in zip(procs, times, effs):
+            print(f"  {P:4d} {t:10.3f} {e:10.2%}")
+
+    print("\nMeasured per-rank communication (words, largest P):")
+    last = results[-1]
+    for stage in ("CountKmer", "SpGEMM", "ExchangeRead", "TrReduction"):
+        w = last.tracker.words(stage)
+        y = last.tracker.messages(stage)
+        print(f"  {stage:13s} W = {w:12.0f} words   Y = {y:6.0f} messages")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,12 @@
+"""Pairwise alignment substrate: x-drop seed-and-extend and overlap
+classification into bidirected string-graph edges."""
+
+from .xdrop import (AlignmentResult, Scoring, chain_extend, seed_extend_align,
+                    xdrop_extend)
+from .overlapper import B_END, E_END, OverlapClass, classify_overlap
+
+__all__ = [
+    "AlignmentResult", "Scoring", "chain_extend", "seed_extend_align",
+    "xdrop_extend",
+    "B_END", "E_END", "OverlapClass", "classify_overlap",
+]

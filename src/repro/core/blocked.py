@@ -1,0 +1,170 @@
+"""Blocked (strip-mined) overlap detection — the paper's future-work mode.
+
+Section VIII: *"we can form only a part of the candidate overlap matrix in
+each time step, aligning only sequences belonging to this part, and removing
+the spurious entries before moving on to the next region of the output
+matrix"* — the memory-reduction plan that lets large genomes run at low
+concurrency.
+
+:func:`candidate_overlaps_blocked` implements exactly that: ``C = A·Aᵀ`` is
+computed in ``n_strips`` column strips ``C[:, lo:hi] = A · Aᵀ[:, lo:hi]``;
+each strip is aligned and pruned to its R entries immediately, so at no
+point does more than one strip of candidate entries exist.  The union of
+strip results is bit-identical to the monolithic path (tested), while peak
+candidate-matrix memory drops by ~``n_strips``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.xdrop import Scoring
+from ..dsparse.coomat import CooMat
+from ..dsparse.distmat import DistMat
+from ..dsparse.summa import summa
+from ..mpisim.comm import SimComm
+from ..mpisim.grid import block_bounds
+from ..mpisim.tracker import StageTimer
+from ..seqs.fasta import ReadSet
+from .overlap import AlignmentFilter, align_candidates
+from .semirings import PositionsSemiring
+
+__all__ = ["BlockedOverlapResult", "candidate_overlaps_blocked"]
+
+
+@dataclass
+class BlockedOverlapResult:
+    """Outcome of strip-mined overlap detection.
+
+    Attributes
+    ----------
+    R:
+        The overlap matrix (identical to the monolithic pipeline's R).
+    nnz_c:
+        Total candidate entries over all strips (equals monolithic nnz(C)).
+    peak_strip_nnz:
+        Largest per-strip candidate count — the actual memory high-water
+        mark, to compare against ``nnz_c``.
+    n_strips:
+        Number of strips executed.
+    """
+
+    R: DistMat
+    nnz_c: int
+    peak_strip_nnz: int
+    n_strips: int
+
+
+def _column_strip(At: DistMat, lo: int, hi: int) -> DistMat:
+    """Columns ``[lo, hi)`` of a distributed matrix as a narrower DistMat."""
+    grid = At.grid
+    q = grid.q
+    strip_cb = grid.col_bounds(hi - lo)
+    blocks = []
+    for i in range(q):
+        brow = []
+        for j in range(q):
+            c0, c1 = int(strip_cb[j]), int(strip_cb[j + 1])
+            # Global source columns of this strip block.
+            g0, g1 = lo + c0, lo + c1
+            # Collect from the source blocks overlapping [g0, g1).
+            rows, cols, vals = [], [], []
+            for sj in range(q):
+                s0, s1 = int(At.col_bounds[sj]), int(At.col_bounds[sj + 1])
+                o0, o1 = max(g0, s0), min(g1, s1)
+                if o0 >= o1:
+                    continue
+                b = At.blocks[i][sj]
+                gcol = b.col + s0
+                m = (gcol >= o0) & (gcol < o1)
+                rows.append(b.row[m])
+                cols.append(gcol[m] - g0)
+                vals.append(b.vals[m])
+            if rows:
+                brow.append(CooMat(
+                    (int(At.row_bounds[i + 1] - At.row_bounds[i]), c1 - c0),
+                    np.concatenate(rows), np.concatenate(cols),
+                    np.vstack(vals)))
+            else:
+                brow.append(CooMat.empty(
+                    (int(At.row_bounds[i + 1] - At.row_bounds[i]), c1 - c0),
+                    At.nfields))
+        blocks.append(brow)
+    return DistMat((At.shape[0], hi - lo), grid, blocks, At.nfields)
+
+
+def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
+                               comm: SimComm, n_strips: int,
+                               timer: StageTimer | None = None, *,
+                               mode: str = "chain",
+                               scoring: Scoring | None = None,
+                               filt: AlignmentFilter | None = None,
+                               fuzz: int = 100) -> BlockedOverlapResult:
+    """Strip-mined ``C = A·Aᵀ`` with per-strip alignment and pruning.
+
+    Parameters mirror :func:`~repro.core.overlap.candidate_overlaps` +
+    :func:`~repro.core.overlap.align_candidates`; ``n_strips`` controls the
+    peak-memory / latency trade-off (each strip is one Sparse SUMMA over a
+    narrower ``Aᵀ``).
+    """
+    timer = timer if timer is not None else StageTimer()
+    n = A.shape[0]
+    At = A.transpose()
+    strips = block_bounds(n, n_strips)
+
+    nnz_c = 0
+    peak = 0
+    partial_R: list[CooMat] = []
+    for s in range(n_strips):
+        lo, hi = int(strips[s]), int(strips[s + 1])
+        if lo == hi:
+            continue
+        At_strip = _column_strip(At, lo, hi)
+        C_strip = summa(A, At_strip, PositionsSemiring(), comm,
+                        "SpGEMM", timer)
+        # Keep the strict upper triangle in *global* coordinates.
+        q = C_strip.grid.q
+        blocks = []
+        for i in range(q):
+            brow = []
+            for j in range(q):
+                b = C_strip.blocks[i][j]
+                gr = b.row + C_strip.row_bounds[i]
+                gc = b.col + C_strip.col_bounds[j] + lo
+                brow.append(b.select(gr < gc))
+            blocks.append(brow)
+        C_strip = DistMat(C_strip.shape, C_strip.grid, blocks,
+                          C_strip.nfields)
+        strip_nnz = C_strip.nnz()
+        nnz_c += strip_nnz
+        peak = max(peak, strip_nnz)
+
+        # Align and prune this strip immediately (the memory saver): the
+        # aligner works in global row coordinates; shift columns back.
+        shifted = _shift_columns(C_strip, lo, n)
+        R_strip = align_candidates(shifted, reads, k, comm, timer,
+                                   mode=mode, scoring=scoring, filt=filt,
+                                   fuzz=fuzz)
+        g = R_strip.to_global()
+        if g.nnz:
+            partial_R.append(g)
+
+    if partial_R:
+        rows = np.concatenate([p.row for p in partial_R])
+        cols = np.concatenate([p.col for p in partial_R])
+        vals = np.vstack([p.vals for p in partial_R])
+    else:
+        rows = cols = np.empty(0, np.int64)
+        vals = np.empty((0, 4), np.int64)
+    R = DistMat.from_coo((n, n), A.grid, rows, cols, vals)
+    return BlockedOverlapResult(R=R, nnz_c=nnz_c, peak_strip_nnz=peak,
+                                n_strips=n_strips)
+
+
+def _shift_columns(C: DistMat, offset: int, n_cols: int) -> DistMat:
+    """Re-embed a column strip into the full ``n×n`` coordinate space."""
+    g = C.to_global()
+    return DistMat.from_coo((C.shape[0], n_cols), C.grid, g.row,
+                            g.col + offset, g.vals)

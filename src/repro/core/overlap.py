@@ -1,0 +1,288 @@
+"""Distributed overlap detection: A construction, C = A·Aᵀ, alignment, R.
+
+This module covers Algorithm 1 lines 4–8:
+
+* :func:`build_a_matrix` — the |reads|×|k-mers| matrix ``A`` (one nonzero per
+  (read, reliable k-mer) occurrence carrying the position and the
+  canonical-flip bit), distributed on the 2D grid with the construction
+  traffic charged to ``CreateSpMat``;
+* :func:`candidate_overlaps` — ``C = A·Aᵀ`` by Sparse SUMMA under the
+  :class:`~repro.core.semirings.PositionsSemiring` (stage ``SpGEMM``),
+  restricted to the strict upper triangle (each pair aligned once);
+* :func:`exchange_reads` — the read exchange: every grid rank fetches the
+  full row-range and column-range of sequences it may align, charged to
+  ``ExchangeRead`` (the paper's eager option (b), Section IV-D, which is what
+  makes the 2D volume ``2nl/√P``);
+* :func:`align_candidates` — seed-and-extend alignment (x-drop or chain
+  mode) on every C nonzero, score pruning, overlap classification, and
+  assembly of the symmetric overlap matrix ``R`` with
+  ``[suffix, end_i, end_j, overlap_len]`` payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.overlapper import OverlapClass, classify_overlap
+from ..align.xdrop import AlignmentResult, Scoring, chain_extend, \
+    seed_extend_align
+from ..dsparse.coomat import CooMat
+from ..dsparse.distmat import DistMat
+from ..dsparse.summa import summa
+from ..mpisim.comm import SimComm
+from ..mpisim.grid import ProcessGrid2D, block_bounds
+from ..mpisim.tracker import StageTimer
+from ..seqs.fasta import ReadSet
+from ..seqs.kmer_counter import KmerTable
+from ..seqs.kmers import canonical_kmers, pack_kmers
+from .semirings import (A_FLIP, A_POS, C_COUNT, C_PA1, C_PA2, C_PB1, C_PB2,
+                        C_STRAND1, C_STRAND2, PositionsSemiring)
+
+__all__ = ["AlignmentFilter", "build_a_matrix", "candidate_overlaps",
+           "exchange_reads", "align_candidates"]
+
+
+@dataclass(frozen=True)
+class AlignmentFilter:
+    """Score-threshold policy for pruning candidate overlaps.
+
+    An alignment passes when ``score >= max(min_score, ratio·overlap_len)``
+    and the aligned span is at least ``min_overlap`` — the BELLA-style
+    adaptive threshold ``t`` of Algorithm 1 line 8.
+    """
+
+    min_score: int = 50
+    min_overlap: int = 200
+    ratio: float = 0.4
+
+    def passes(self, score: int, overlap_len: int) -> bool:
+        if overlap_len < self.min_overlap:
+            return False
+        return score >= max(self.min_score, int(self.ratio * overlap_len))
+
+
+def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
+                   comm: SimComm, timer: StageTimer | None = None
+                   ) -> DistMat:
+    """Construct the distributed |reads|×|k-mers| matrix ``A``.
+
+    Each 1D source rank scans its block of reads, looks its k-mers up in the
+    reliable dictionary (a distributed-hash lookup in a real run) and routes
+    the resulting ``(read, column, pos, flip)`` entries to their 2D block
+    owners; that routing is the ``CreateSpMat`` traffic.
+    """
+    timer = timer if timer is not None else StageTimer()
+    stage = "CreateSpMat"
+    P = comm.nprocs
+    n = len(reads)
+    m = len(table)
+    bounds = block_bounds(n, P)
+
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+    with timer.superstep(stage) as step:
+        for p in range(P):
+            with step.rank(p):
+                rr, cc, vv = [], [], []
+                for gi in range(int(bounds[p]), int(bounds[p + 1])):
+                    codes = reads[gi]
+                    fwd = pack_kmers(codes, table.k)
+                    if fwd.shape[0] == 0:
+                        continue
+                    canon = canonical_kmers(fwd, table.k)
+                    col = table.lookup(canon)
+                    ok = col >= 0
+                    if not ok.any():
+                        continue
+                    pos = np.flatnonzero(ok).astype(np.int64)
+                    col = col[ok]
+                    flip = (canon[ok] != fwd[ok]).astype(np.int64)
+                    # Keep the first occurrence per (read, k-mer).
+                    _, first = np.unique(col, return_index=True)
+                    rr.append(np.full(first.shape[0], gi, dtype=np.int64))
+                    cc.append(col[first])
+                    vv.append(np.stack([pos[first], flip[first]], axis=1))
+                if rr:
+                    rows_parts.append(np.concatenate(rr))
+                    cols_parts.append(np.concatenate(cc))
+                    vals_parts.append(np.vstack(vv))
+
+    if rows_parts:
+        row = np.concatenate(rows_parts)
+        col = np.concatenate(cols_parts)
+        vals = np.vstack(vals_parts)
+    else:
+        row = col = np.empty(0, np.int64)
+        vals = np.empty((0, 2), np.int64)
+
+    # Charge the routing of entries to their 2D owners: every entry moves
+    # from its 1D source rank to the grid owner of its (row, col) block.
+    rb = grid.row_bounds(n)
+    cb = grid.col_bounds(m)
+    bi = np.searchsorted(rb, row, side="right") - 1
+    bj = np.searchsorted(cb, col, side="right") - 1
+    dest = bi * grid.q + bj
+    src = np.searchsorted(bounds, row, side="right") - 1
+    entry_bytes = 8 * 4  # row, col, pos, flip
+    for p in range(P):
+        mine = src == p
+        offrank = dest[mine] != p
+        n_off = int(offrank.sum())
+        if n_off:
+            n_dests = int(np.unique(dest[mine][offrank]).shape[0])
+            comm.tracker.record(stage, p, n_off * entry_bytes, n_dests)
+
+    return DistMat.from_coo((n, m), grid, row, col, vals)
+
+
+def candidate_overlaps(A: DistMat, comm: SimComm,
+                       timer: StageTimer | None = None) -> DistMat:
+    """``C = A·Aᵀ`` via Sparse SUMMA, upper-triangle only.
+
+    The product is symmetric (shared k-mer counts), so only ``i < j`` entries
+    are kept for alignment; the symmetric R entries are regenerated after
+    alignment.  Diagonal entries (a read with itself) are discarded.
+    """
+    timer = timer if timer is not None else StageTimer()
+    At = A.transpose()
+    C = summa(A, At, PositionsSemiring(), comm, "SpGEMM", timer)
+    q = C.grid.q
+    rb, cbb = C.row_bounds, C.col_bounds
+    blocks = []
+    for i in range(q):
+        brow = []
+        for j in range(q):
+            b = C.blocks[i][j]
+            gr = b.row + rb[i]
+            gc = b.col + cbb[j]
+            brow.append(b.select(gr < gc))
+        blocks.append(brow)
+    return DistMat(C.shape, C.grid, blocks, C.nfields)
+
+
+def exchange_reads(reads: ReadSet, grid: ProcessGrid2D, comm: SimComm,
+                   bytes_per_base: int = 1) -> None:
+    """Charge the 2D read exchange (paper Section V-C).
+
+    Every grid rank needs the sequences of its block-row range and its
+    block-column range — ``2n/√P`` reads, ``2nl/√P`` bytes — shipped from the
+    1D owners determined by the initial parallel I/O partition.  The data is
+    already shared in-process; only the accounting moves.
+    """
+    stage = "ExchangeRead"
+    n = len(reads)
+    lengths = reads.lengths
+    P = comm.nprocs
+    owner_bounds = block_bounds(n, P)
+    prefix = np.concatenate([[0], np.cumsum(lengths)])
+
+    def range_bytes(lo: int, hi: int) -> int:
+        return int(prefix[hi] - prefix[lo]) * bytes_per_base
+
+    rb = grid.row_bounds(n)
+    cb = grid.col_bounds(n)
+    for rank in range(P):
+        i, j = grid.coords_of(rank)
+        needed: list[tuple[int, int]] = [(int(rb[i]), int(rb[i + 1])),
+                                         (int(cb[j]), int(cb[j + 1]))]
+        for lo, hi in needed:
+            # Source ranks are the 1D owners intersecting [lo, hi).
+            p0 = int(np.searchsorted(owner_bounds, lo, side="right")) - 1
+            p1 = int(np.searchsorted(owner_bounds, hi, side="left"))
+            for p in range(p0, p1):
+                s_lo = max(lo, int(owner_bounds[p]))
+                s_hi = min(hi, int(owner_bounds[p + 1]))
+                if s_hi <= s_lo or p == rank:
+                    continue
+                comm.tracker.record(stage, p, range_bytes(s_lo, s_hi), 1)
+
+
+def _align_one(reads: ReadSet, gi: int, gj: int, cval: np.ndarray,
+               k: int, mode: str, scoring: Scoring) -> AlignmentResult | None:
+    """Align one candidate pair using its stored seeds (best of up to two)."""
+    a, b = reads[gi], reads[gj]
+    best: AlignmentResult | None = None
+    seeds = [(int(cval[C_PA1]), int(cval[C_PB1]), int(cval[C_STRAND1]))]
+    if cval[C_PA2] >= 0:
+        seeds.append((int(cval[C_PA2]), int(cval[C_PB2]), int(cval[C_STRAND2])))
+    for pa, pb, strand in seeds:
+        if mode == "chain":
+            res = chain_extend(a.shape[0], b.shape[0], pa, pb, k, strand)
+        else:
+            res = seed_extend_align(a, b, pa, pb, k, strand, scoring)
+        if best is None or res.score > best.score:
+            best = res
+    return best
+
+
+def align_candidates(C: DistMat, reads: ReadSet, k: int, comm: SimComm,
+                     timer: StageTimer | None = None, *,
+                     mode: str = "xdrop",
+                     scoring: Scoring | None = None,
+                     filt: AlignmentFilter | None = None,
+                     fuzz: int = 100) -> DistMat:
+    """Pairwise-align all C nonzeros and build the overlap matrix ``R``.
+
+    Alignment is the element-wise APPLY on C; score pruning is the PRUNE
+    (Algorithm 1 lines 7–8).  Dovetail survivors contribute both directed
+    entries of ``R``; contained and internal overlaps are discarded here
+    (the paper discards contained overlaps at the transitive-reduction
+    boundary regardless of score, Section IV-D).
+    """
+    timer = timer if timer is not None else StageTimer()
+    scoring = scoring if scoring is not None else Scoring()
+    filt = filt if filt is not None else AlignmentFilter()
+    stage = "Alignment"
+    q = C.grid.q
+    n = C.shape[0]
+
+    src_list: list[np.ndarray] = []
+    dst_list: list[np.ndarray] = []
+    val_list: list[np.ndarray] = []
+    with timer.superstep(stage) as step:
+        for i in range(q):
+            for j in range(q):
+                rank = C.grid.rank_of(i, j)
+                with step.rank(rank):
+                    b = C.blocks[i][j]
+                    if b.nnz == 0:
+                        continue
+                    r0 = int(C.row_bounds[i])
+                    c0 = int(C.col_bounds[j])
+                    rows, cols, vals = [], [], []
+                    for t in range(b.nnz):
+                        gi = int(b.row[t]) + r0
+                        gj = int(b.col[t]) + c0
+                        res = _align_one(reads, gi, gj, b.vals[t], k, mode,
+                                         scoring)
+                        if res is None:
+                            continue
+                        olen = res.ea - res.ba
+                        if not filt.passes(res.score, olen):
+                            continue
+                        oc = classify_overlap(reads[gi].shape[0],
+                                              reads[gj].shape[0], res, fuzz)
+                        if oc.kind != "dovetail":
+                            continue
+                        rows.extend((gi, gj))
+                        cols.extend((gj, gi))
+                        vals.append((oc.suffix_ij, oc.end_i, oc.end_j,
+                                     oc.overlap_len))
+                        vals.append((oc.suffix_ji, oc.end_j, oc.end_i,
+                                     oc.overlap_len))
+                    if rows:
+                        src_list.append(np.array(rows, dtype=np.int64))
+                        dst_list.append(np.array(cols, dtype=np.int64))
+                        val_list.append(np.array(vals, dtype=np.int64))
+
+    if src_list:
+        row = np.concatenate(src_list)
+        col = np.concatenate(dst_list)
+        vals = np.vstack(val_list)
+    else:
+        row = col = np.empty(0, np.int64)
+        vals = np.empty((0, 4), np.int64)
+    return DistMat.from_coo((n, n), C.grid, row, col, vals)

@@ -1,0 +1,187 @@
+"""The diBELLA 2D pipeline (paper Algorithm 1).
+
+:func:`run_pipeline` wires the stages end to end on the simulated runtime:
+
+``ReadFastq → CountKmer → CreateSpMat → SpGEMM (C = A·Aᵀ) → ExchangeRead →
+Alignment → TrReduction``
+
+using the same stage names as the paper's runtime-breakdown figures
+(Figs. 5–8), so the benchmark harness can print the identical layers.  The
+result object carries the string matrix, the per-stage compute times
+(critical-path max over simulated ranks), the communication records, and the
+sparsity statistics of Table III; :meth:`PipelineResult.modeled_time`
+evaluates the α–β machine models to produce the runtimes the scaling figures
+plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.xdrop import Scoring
+from ..dsparse.coomat import CooMat
+from ..mpisim.comm import SimComm
+from ..mpisim.grid import ProcessGrid2D
+from ..mpisim.machine import MachineModel
+from ..mpisim.tracker import CommTracker, StageTimer
+from ..seqs.fasta import ReadSet, read_fasta
+from ..seqs.kmer_counter import count_kmers, reliable_upper_bound
+from .overlap import (AlignmentFilter, align_candidates, build_a_matrix,
+                      candidate_overlaps, exchange_reads)
+from .string_graph import StringGraph
+from .transitive_reduction import transitive_reduction
+
+__all__ = ["PipelineConfig", "PipelineResult", "run_pipeline",
+           "run_pipeline_from_fasta", "STAGES"]
+
+#: Stage names in the paper's breakdown order (Figs. 5–8, bottom to top).
+STAGES = ["Alignment", "ReadFastq", "CountKmer", "CreateSpMat", "SpGEMM",
+          "ExchangeRead", "TrReduction"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunable parameters of a diBELLA 2D run.
+
+    Defaults mirror the paper's settings (k = 17; reliable k-mer ceiling from
+    the BELLA model; x-drop alignment).  ``nprocs`` must be a perfect square
+    (the 2D grid); ``align_mode='chain'`` switches to the alignment-free
+    coordinate estimate for large runs.
+    """
+
+    k: int = 17
+    nprocs: int = 1
+    align_mode: str = "xdrop"
+    scoring: Scoring = field(default_factory=Scoring)
+    filt: AlignmentFilter = field(default_factory=AlignmentFilter)
+    fuzz: int = 150
+    kmer_batches: int = 1
+    kmer_upper: int | None = None
+    depth_hint: float = 30.0
+    error_hint: float = 0.15
+    max_tr_rounds: int = 32
+
+
+@dataclass
+class PipelineResult:
+    """Everything a diBELLA 2D run produces (matrices, stats, accounting)."""
+
+    config: PipelineConfig
+    n_reads: int
+    n_kmers: int
+    string_graph: StringGraph
+    S: CooMat
+    nnz_a: int
+    nnz_c: int
+    nnz_r: int
+    nnz_s: int
+    tr_rounds: int
+    timer: StageTimer
+    tracker: CommTracker
+
+    # -- paper statistics ---------------------------------------------------
+    @property
+    def a_density(self) -> float:
+        """A nonzeros per k-mer column (Table II's ``a = nnz(A)/m``)."""
+        return self.nnz_a / max(1, self.n_kmers)
+
+    @property
+    def c_density(self) -> float:
+        """C nonzeros per row (Table III's ``c``; counts both triangles)."""
+        return 2.0 * self.nnz_c / max(1, self.n_reads)
+
+    @property
+    def r_density(self) -> float:
+        """R directed entries per row (Table III's ``r``)."""
+        return self.nnz_r / max(1, self.n_reads)
+
+    @property
+    def s_density(self) -> float:
+        """S directed entries per row (Table II's ``s``)."""
+        return self.nnz_s / max(1, self.n_reads)
+
+    def inefficiency(self, depth: float) -> float:
+        """The overlapper inefficiency factor ``c / 2d`` (Table III)."""
+        return self.c_density / (2.0 * depth)
+
+    # -- modeled runtimes ------------------------------------------------------
+    def stage_compute(self) -> dict[str, float]:
+        """Measured per-stage critical-path compute seconds."""
+        return self.timer.breakdown()
+
+    def modeled_time(self, machine: MachineModel,
+                     include_alignment: bool = True) -> dict[str, float]:
+        """Per-stage modeled runtime on ``machine`` (compute + α–β comm)."""
+        out: dict[str, float] = {}
+        for stage in STAGES:
+            if not include_alignment and stage == "Alignment":
+                continue
+            comp = self.timer.stage_seconds.get(stage, 0.0)
+            comm = self.tracker.stage_comm_time(stage, machine)
+            total = comp * machine.compute_scale + comm
+            if total > 0.0:
+                out[stage] = total
+        return out
+
+    def modeled_total(self, machine: MachineModel,
+                      include_alignment: bool = True) -> float:
+        return sum(self.modeled_time(machine, include_alignment).values())
+
+
+def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
+                 read_fastq_seconds: float = 0.0) -> PipelineResult:
+    """Run overlap detection + transitive reduction on an in-memory ReadSet.
+
+    ``read_fastq_seconds`` lets :func:`run_pipeline_from_fasta` charge the
+    parse time it measured to the ``ReadFastq`` stage.
+    """
+    config = config if config is not None else PipelineConfig()
+    grid = ProcessGrid2D(config.nprocs)
+    tracker = CommTracker(config.nprocs)
+    comm = SimComm(config.nprocs, tracker)
+    timer = StageTimer()
+    if read_fastq_seconds:
+        timer.add("ReadFastq", read_fastq_seconds)
+
+    upper = config.kmer_upper
+    if upper is None:
+        upper = reliable_upper_bound(config.depth_hint, config.error_hint,
+                                     config.k)
+    table = count_kmers(reads, config.k, comm, timer,
+                        batches=config.kmer_batches, upper=upper)
+
+    A = build_a_matrix(reads, table, grid, comm, timer)
+    nnz_a = A.nnz()
+    # Read exchange is issued right after partitioning so it overlaps with
+    # counting and SpGEMM (paper Section IV-D); accounting order is
+    # equivalent.
+    exchange_reads(reads, grid, comm)
+    C = candidate_overlaps(A, comm, timer)
+    nnz_c = C.nnz()
+    R = align_candidates(C, reads, config.k, comm, timer,
+                         mode=config.align_mode, scoring=config.scoring,
+                         filt=config.filt, fuzz=config.fuzz)
+    nnz_r = R.nnz()
+    tr = transitive_reduction(R, comm, timer, fuzz=config.fuzz,
+                              max_rounds=config.max_tr_rounds)
+    S_global = tr.S.to_global()
+    return PipelineResult(
+        config=config, n_reads=len(reads), n_kmers=len(table),
+        string_graph=StringGraph.from_coomat(S_global), S=S_global,
+        nnz_a=nnz_a, nnz_c=nnz_c, nnz_r=nnz_r, nnz_s=tr.S.nnz(),
+        tr_rounds=tr.rounds, timer=timer, tracker=tracker)
+
+
+def run_pipeline_from_fasta(path, config: PipelineConfig | None = None
+                            ) -> PipelineResult:
+    """Run the pipeline on a FASTA file, timing the parse as ``ReadFastq``."""
+    t0 = time.perf_counter()
+    reads = read_fasta(path)
+    parse_seconds = time.perf_counter() - t0
+    cfg = config if config is not None else PipelineConfig()
+    # Parallel MPI-IO splits the parse across ranks; charge the share.
+    return run_pipeline(reads, cfg,
+                        read_fastq_seconds=parse_seconds / cfg.nprocs)

@@ -1,0 +1,153 @@
+"""Bidirected string graph model and walk semantics.
+
+The layout step's output is a *string graph* (paper Section II): vertices
+are reads, edges are overlap **suffixes** (overhangs) with a bidirected head
+at each end.  We encode heads as *end attachments* — which end of the read
+(Begin=0 / End=1, in the read's forward orientation) the edge joins — which
+is equivalent to the arrow-head formulation (DESIGN.md §5) and makes the
+walk rules mechanical:
+
+* a walk ``… → k → …`` is **valid** iff the edge arriving at ``k`` and the
+  edge leaving ``k`` attach to *opposite* ends of ``k`` (Fig. 2's rule);
+* edge ``i→j`` is a **transitive candidate** of path ``i→k→j`` iff the path's
+  end attachments at ``i`` and ``j`` equal the direct edge's (rules (b), (c)
+  of Section II).
+
+:class:`StringGraph` is the friendly array view of the ``R``/``S`` matrices
+used by baselines, metrics, examples and tests; the pipeline itself operates
+on distributed matrices and converts at the edges of the API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsparse.coomat import CooMat
+from .semirings import R_END_I, R_END_J, R_OLEN, R_SUFFIX
+
+__all__ = ["StringGraph"]
+
+
+class StringGraph:
+    """Directed-pair view of a bidirected overlap/string graph.
+
+    Every physical overlap appears as two directed entries, ``(i, j)`` and
+    ``(j, i)``, whose suffixes are the two walk directions' overhangs —
+    exactly the symmetric ``R`` matrix of the pipeline.
+    """
+
+    def __init__(self, n_reads: int, src: np.ndarray, dst: np.ndarray,
+                 suffix: np.ndarray, end_src: np.ndarray, end_dst: np.ndarray,
+                 overlap_len: np.ndarray | None = None) -> None:
+        self.n_reads = int(n_reads)
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.suffix = np.asarray(suffix, dtype=np.int64)
+        self.end_src = np.asarray(end_src, dtype=np.int64)
+        self.end_dst = np.asarray(end_dst, dtype=np.int64)
+        self.overlap_len = (np.asarray(overlap_len, dtype=np.int64)
+                            if overlap_len is not None
+                            else np.zeros_like(self.suffix))
+
+    # -- conversions -------------------------------------------------------
+    @classmethod
+    def from_coomat(cls, mat: CooMat) -> "StringGraph":
+        if mat.shape[0] != mat.shape[1]:
+            raise ValueError("string graph matrix must be square")
+        return cls(mat.shape[0], mat.row, mat.col,
+                   mat.vals[:, R_SUFFIX], mat.vals[:, R_END_I],
+                   mat.vals[:, R_END_J], mat.vals[:, R_OLEN])
+
+    def to_coomat(self) -> CooMat:
+        vals = np.stack([self.suffix, self.end_src, self.end_dst,
+                         self.overlap_len], axis=1)
+        return CooMat((self.n_reads, self.n_reads), self.src, self.dst, vals)
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Directed entry count (2× the physical overlap count)."""
+        return int(self.src.shape[0])
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        return set(zip(self.src.tolist(), self.dst.tolist()))
+
+    def out_edges(self, v: int) -> np.ndarray:
+        """Indices (into the edge arrays) of entries with source ``v``."""
+        return np.flatnonzero(self.src == v)
+
+    def degree_histogram(self) -> dict[int, int]:
+        deg = np.bincount(self.src, minlength=self.n_reads)
+        uniq, cnt = np.unique(deg, return_counts=True)
+        return {int(u): int(c) for u, c in zip(uniq, cnt)}
+
+    def density(self) -> float:
+        """Average nonzeros per row (the paper's per-row density r/s)."""
+        return self.n_edges / max(1, self.n_reads)
+
+    # -- walk semantics ----------------------------------------------------
+    def is_valid_walk(self, edge_indices: list[int]) -> bool:
+        """Check Fig. 2's validity for a sequence of edge-array indices.
+
+        Consecutive edges must chain (``dst`` of one is ``src`` of the next)
+        and attach to opposite ends of every intermediate read.
+        """
+        for a, b in zip(edge_indices, edge_indices[1:]):
+            if self.dst[a] != self.src[b]:
+                return False
+            if self.end_dst[a] == self.end_src[b]:
+                return False
+        return True
+
+    def transitive_edges_bruteforce(self, fuzz: int = 0,
+                                    use_rowmax: bool = True
+                                    ) -> set[tuple[int, int]]:
+        """Reference transitive-edge enumeration (O(E·deg), tests only).
+
+        For every two-edge valid walk ``i→k→j`` with end attachments matching
+        a direct edge ``i→j``, mark the direct edge transitive when the walk
+        suffix sum is at most the tolerance bound: the direct edge's own
+        suffix + ``fuzz`` (Myers' rule, ``use_rowmax=False``) or row i's max
+        suffix + ``fuzz`` (the paper's Algorithm 2, ``use_rowmax=True``).
+        """
+        by_src: dict[int, list[int]] = {}
+        for idx in range(self.n_edges):
+            by_src.setdefault(int(self.src[idx]), []).append(idx)
+        direct: dict[tuple[int, int], int] = {
+            (int(self.src[e]), int(self.dst[e])): e
+            for e in range(self.n_edges)}
+        rowmax: dict[int, int] = {}
+        for e in range(self.n_edges):
+            s = int(self.src[e])
+            rowmax[s] = max(rowmax.get(s, 0), int(self.suffix[e]))
+        marked: set[tuple[int, int]] = set()
+        for e1 in range(self.n_edges):
+            i, k = int(self.src[e1]), int(self.dst[e1])
+            for e2 in by_src.get(k, ()):
+                j = int(self.dst[e2])
+                if j == i:
+                    continue
+                if self.end_dst[e1] == self.end_src[e2]:
+                    continue  # invalid walk through k
+                d = direct.get((i, j))
+                if d is None:
+                    continue
+                if self.end_src[d] != self.end_src[e1]:
+                    continue
+                if self.end_dst[d] != self.end_dst[e2]:
+                    continue
+                bound = (rowmax[i] if use_rowmax else int(self.suffix[d])) + fuzz
+                if int(self.suffix[e1]) + int(self.suffix[e2]) <= bound:
+                    marked.add((i, j))
+        return marked
+
+    def subgraph_without(self, edges: set[tuple[int, int]]) -> "StringGraph":
+        """New graph dropping the listed directed entries."""
+        keep = np.array([(int(s), int(d)) not in edges
+                         for s, d in zip(self.src, self.dst)], dtype=bool)
+        return StringGraph(self.n_reads, self.src[keep], self.dst[keep],
+                           self.suffix[keep], self.end_src[keep],
+                           self.end_dst[keep], self.overlap_len[keep])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StringGraph(n={self.n_reads}, entries={self.n_edges})"

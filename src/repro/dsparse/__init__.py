@@ -1,0 +1,29 @@
+"""Distributed sparse-matrix substrate (the CombBLAS substitution).
+
+2D block-distributed matrices (:class:`~repro.dsparse.distmat.DistMat`) over
+local COO blocks (:class:`~repro.dsparse.coomat.CooMat`), semiring algebra
+(:mod:`~repro.dsparse.semiring`), vectorized local SpGEMM
+(:mod:`~repro.dsparse.spgemm`), distributed Sparse SUMMA
+(:mod:`~repro.dsparse.summa`) and the element-wise kernels of Algorithm 2
+(:mod:`~repro.dsparse.elementwise`).
+"""
+
+from .coomat import CooMat
+from .distmat import DistMat
+from .semiring import Semiring, PlusTimes, MinPlus, BoolOr, INF
+from .spgemm import spgemm_esc, spgemm_gustavson, multiway_merge
+from .summa import summa
+from .elementwise import (
+    reduce_rows, apply_vector, dimapply_rows, ewise_compare_mask,
+    prune_mask, apply_entries, prune_entries,
+)
+from .redistrib import to_2d_grid, to_block_rows
+
+__all__ = [
+    "CooMat", "DistMat",
+    "Semiring", "PlusTimes", "MinPlus", "BoolOr", "INF",
+    "spgemm_esc", "spgemm_gustavson", "multiway_merge", "summa",
+    "reduce_rows", "apply_vector", "dimapply_rows", "ewise_compare_mask",
+    "prune_mask", "apply_entries", "prune_entries",
+    "to_2d_grid", "to_block_rows",
+]

@@ -1,0 +1,108 @@
+"""Local sparse matrix container with multi-field integer values.
+
+:class:`CooMat` is the per-block storage of the distributed matrices: COO
+coordinates plus an ``(nnz, nfields)`` ``int64`` value array (see
+:mod:`repro.dsparse.semiring` for why values are field arrays).  Entries are
+kept in canonical row-major order with unique coordinates, which every kernel
+(SpGEMM, element-wise ops, reductions) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["CooMat"]
+
+
+class CooMat:
+    """Sorted, duplicate-free COO matrix with ``(nnz, nf)`` int64 values."""
+
+    def __init__(self, shape: tuple[int, int], row: np.ndarray,
+                 col: np.ndarray, vals: np.ndarray, *,
+                 checked: bool = False) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.row = np.asarray(row, dtype=np.int64)
+        self.col = np.asarray(col, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.int64)
+        if vals.ndim == 1:
+            vals = vals[:, None]
+        self.vals = vals
+        if self.row.shape[0] != self.col.shape[0] or \
+                self.row.shape[0] != self.vals.shape[0]:
+            raise ValueError("row/col/vals length mismatch")
+        if not checked:
+            self._canonicalize()
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, int], nfields: int = 1) -> "CooMat":
+        return cls(shape, np.empty(0, np.int64), np.empty(0, np.int64),
+                   np.empty((0, nfields), np.int64), checked=True)
+
+    @classmethod
+    def from_scipy(cls, mat: sp.spmatrix | sp.sparray) -> "CooMat":
+        """Build from a scipy sparse matrix (values cast to int64)."""
+        coo = sp.coo_matrix(mat)
+        return cls(coo.shape, coo.row.astype(np.int64),
+                   coo.col.astype(np.int64), coo.data.astype(np.int64))
+
+    def to_scipy(self, field: int = 0) -> sp.coo_matrix:
+        """Export one value field as a scipy COO matrix (tests/inspection)."""
+        return sp.coo_matrix((self.vals[:, field].astype(np.float64),
+                              (self.row, self.col)), shape=self.shape)
+
+    # -- invariants ---------------------------------------------------------
+    def _canonicalize(self) -> None:
+        if self.row.shape[0] == 0:
+            return
+        order = np.lexsort((self.col, self.row))
+        self.row = self.row[order]
+        self.col = self.col[order]
+        self.vals = self.vals[order]
+        key_same = np.zeros(self.row.shape[0], dtype=bool)
+        key_same[1:] = (self.row[1:] == self.row[:-1]) & \
+                       (self.col[1:] == self.col[:-1])
+        if key_same.any():
+            raise ValueError("duplicate coordinates; reduce with a semiring first")
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.row.shape[0])
+
+    @property
+    def nfields(self) -> int:
+        return int(self.vals.shape[1])
+
+    def keys(self) -> np.ndarray:
+        """Packed (row, col) keys — unique per entry, row-major sorted."""
+        return self.row * np.int64(self.shape[1]) + self.col
+
+    # -- derived forms --------------------------------------------------------
+    def csr_indptr(self) -> np.ndarray:
+        """CSR row pointer over the sorted COO data."""
+        counts = np.bincount(self.row, minlength=self.shape[0])
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr
+
+    def transpose(self) -> "CooMat":
+        return CooMat((self.shape[1], self.shape[0]), self.col.copy(),
+                      self.row.copy(), self.vals.copy())
+
+    # -- slicing (block extraction) -------------------------------------------
+    def submatrix(self, r0: int, r1: int, c0: int, c1: int) -> "CooMat":
+        """Block ``[r0:r1, c0:c1]`` with local (shifted) coordinates."""
+        m = (self.row >= r0) & (self.row < r1) & \
+            (self.col >= c0) & (self.col < c1)
+        return CooMat((r1 - r0, c1 - c0), self.row[m] - r0,
+                      self.col[m] - c0, self.vals[m], checked=True)
+
+    def select(self, mask: np.ndarray) -> "CooMat":
+        """Entries where ``mask`` is true (order preserved)."""
+        return CooMat(self.shape, self.row[mask], self.col[mask],
+                      self.vals[mask], checked=True)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CooMat(shape={self.shape}, nnz={self.nnz}, nf={self.nfields})"

@@ -1,0 +1,124 @@
+"""2D block-distributed sparse matrix.
+
+A :class:`DistMat` mirrors CombBLAS's distribution (paper Section IV-D): the
+``√P × √P`` process grid owns one block each, blocks use *local* coordinates,
+and global index arithmetic goes through the grid's balanced block bounds.
+
+Blocks are :class:`~repro.dsparse.coomat.CooMat`\\ s living in per-rank slots
+of the simulated runtime.  Construction from global data models the initial
+scatter; :meth:`to_global` gathers for verification (tests only — a real run
+never materializes the global matrix, and neither do the pipeline stages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpisim.grid import ProcessGrid2D
+from .coomat import CooMat
+
+__all__ = ["DistMat"]
+
+
+class DistMat:
+    """Sparse ``shape[0] × shape[1]`` matrix distributed over a 2D grid."""
+
+    def __init__(self, shape: tuple[int, int], grid: ProcessGrid2D,
+                 blocks: list[list[CooMat]], nfields: int) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.grid = grid
+        self.blocks = blocks  # blocks[i][j] owned by rank grid.rank_of(i, j)
+        self.nfields = nfields
+        self.row_bounds = grid.row_bounds(self.shape[0])
+        self.col_bounds = grid.col_bounds(self.shape[1])
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_coo(cls, shape: tuple[int, int], grid: ProcessGrid2D,
+                 row: np.ndarray, col: np.ndarray, vals: np.ndarray
+                 ) -> "DistMat":
+        """Distribute global COO data onto the grid."""
+        row = np.asarray(row, dtype=np.int64)
+        col = np.asarray(col, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.int64)
+        if vals.ndim == 1:
+            vals = vals[:, None]
+        q = grid.q
+        rb = grid.row_bounds(shape[0])
+        cb = grid.col_bounds(shape[1])
+        bi = np.searchsorted(rb, row, side="right") - 1
+        bj = np.searchsorted(cb, col, side="right") - 1
+        blocks: list[list[CooMat]] = []
+        for i in range(q):
+            brow: list[CooMat] = []
+            for j in range(q):
+                m = (bi == i) & (bj == j)
+                block = CooMat(
+                    (int(rb[i + 1] - rb[i]), int(cb[j + 1] - cb[j])),
+                    row[m] - rb[i], col[m] - cb[j], vals[m])
+                brow.append(block)
+            blocks.append(brow)
+        return cls(shape, grid, blocks, vals.shape[1])
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int], grid: ProcessGrid2D,
+              nfields: int = 1) -> "DistMat":
+        q = grid.q
+        rb = grid.row_bounds(shape[0])
+        cb = grid.col_bounds(shape[1])
+        blocks = [[CooMat.empty((int(rb[i + 1] - rb[i]),
+                                 int(cb[j + 1] - cb[j])), nfields)
+                   for j in range(q)] for i in range(q)]
+        return cls(shape, grid, blocks, nfields)
+
+    # -- inspection ----------------------------------------------------------
+    def nnz(self) -> int:
+        """Global nonzero count (an ``MPI_Allreduce`` in a real run; the
+        transitive-reduction loop's convergence test uses this)."""
+        return sum(b.nnz for brow in self.blocks for b in brow)
+
+    def block(self, i: int, j: int) -> CooMat:
+        return self.blocks[i][j]
+
+    def to_global(self) -> CooMat:
+        """Gather all blocks into one global CooMat (verification only)."""
+        rows, cols, vals = [], [], []
+        for i in range(self.grid.q):
+            for j in range(self.grid.q):
+                b = self.blocks[i][j]
+                rows.append(b.row + self.row_bounds[i])
+                cols.append(b.col + self.col_bounds[j])
+                vals.append(b.vals)
+        if not rows:
+            return CooMat.empty(self.shape, self.nfields)
+        return CooMat(self.shape,
+                      np.concatenate(rows) if rows else np.empty(0, np.int64),
+                      np.concatenate(cols) if cols else np.empty(0, np.int64),
+                      np.vstack(vals) if vals else np.empty((0, self.nfields)))
+
+    # -- structural ops --------------------------------------------------------
+    def transpose(self) -> "DistMat":
+        """Distributed transpose.
+
+        Block ``(i, j)`` becomes block ``(j, i)`` transposed; on a real grid
+        this is a pairwise exchange across the diagonal (the paper's
+        ``TRANSPOSE(A)``, Algorithm 1 line 5).
+        """
+        q = self.grid.q
+        blocks = [[self.blocks[j][i].transpose() for j in range(q)]
+                  for i in range(q)]
+        return DistMat((self.shape[1], self.shape[0]), self.grid, blocks,
+                       self.nfields)
+
+    def copy(self) -> "DistMat":
+        q = self.grid.q
+        blocks = [[CooMat(self.blocks[i][j].shape,
+                          self.blocks[i][j].row.copy(),
+                          self.blocks[i][j].col.copy(),
+                          self.blocks[i][j].vals.copy(), checked=True)
+                   for j in range(q)] for i in range(q)]
+        return DistMat(self.shape, self.grid, blocks, self.nfields)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"DistMat(shape={self.shape}, grid={self.grid.q}x{self.grid.q},"
+                f" nnz={self.nnz()})")

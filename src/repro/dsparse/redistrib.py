@@ -1,0 +1,118 @@
+"""Redistribution between 1D block-row and 2D grid layouts.
+
+The pipeline's inputs arrive in a 1D block-row distribution (parallel FASTA
+I/O assigns contiguous read ranges to ranks, Section IV-B) while the matrix
+algebra runs on the 2D grid — "immediately thereafter, processors begin
+communicating sequences to create a 2D grid that is consistent with the way
+the matrices are partitioned" (paper Section IV-B).  These kernels perform
+that conversion for sparse matrices with full traffic accounting, and the
+reverse for result harvesting.
+
+diBELLA 1D's output matrix ``C`` is block-row distributed, so
+:func:`to_block_rows` also models the layout its reduction step lands in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpisim.comm import SimComm
+from ..mpisim.grid import ProcessGrid2D, block_bounds
+from .coomat import CooMat
+from .distmat import DistMat
+
+__all__ = ["to_2d_grid", "to_block_rows"]
+
+
+def to_2d_grid(parts: list[CooMat], shape: tuple[int, int],
+               grid: ProcessGrid2D, comm: SimComm,
+               stage: str = "Redistribute") -> DistMat:
+    """Convert 1D block-row pieces into a 2D grid distribution.
+
+    ``parts[p]`` holds rank p's block of rows in *local* coordinates (its
+    global row offset is the balanced 1D bound).  Every entry is routed to
+    the 2D owner of its (row, col); off-rank routing is charged as an
+    alltoallv under ``stage``.
+    """
+    P = comm.nprocs
+    if len(parts) != P:
+        raise ValueError("one part per rank required")
+    bounds = block_bounds(shape[0], P)
+    nfields = max((p.nfields for p in parts if p.nnz), default=1)
+    rb = grid.row_bounds(shape[0])
+    cb = grid.col_bounds(shape[1])
+
+    send: list[list[np.ndarray | None]] = [[None] * P for _ in range(P)]
+    for p in range(P):
+        part = parts[p]
+        grow = part.row + bounds[p]
+        bi = np.searchsorted(rb, grow, side="right") - 1
+        bj = np.searchsorted(cb, part.col, side="right") - 1
+        dest = bi * grid.q + bj
+        for d in range(P):
+            sel = dest == d
+            if sel.any():
+                send[p][d] = np.concatenate([
+                    grow[sel], part.col[sel], part.vals[sel].ravel()])
+    recv = comm.alltoallv(send, stage=stage)
+
+    rows, cols, vals = [], [], []
+    for d in range(P):
+        for arr in recv[d]:
+            if arr is None or arr.size == 0:
+                continue
+            k = arr.shape[0] // (2 + nfields)
+            rows.append(arr[:k])
+            cols.append(arr[k:2 * k])
+            vals.append(arr[2 * k:].reshape(k, nfields))
+    if rows:
+        return DistMat.from_coo(shape, grid, np.concatenate(rows),
+                                np.concatenate(cols), np.vstack(vals))
+    return DistMat.empty(shape, grid, nfields)
+
+
+def to_block_rows(D: DistMat, comm: SimComm,
+                  stage: str = "Redistribute") -> list[CooMat]:
+    """Convert a 2D-distributed matrix into 1D block-row pieces.
+
+    Returns one :class:`CooMat` per rank holding its balanced row range in
+    local coordinates; the routing is charged as an alltoallv.
+    """
+    P = comm.nprocs
+    bounds = block_bounds(D.shape[0], P)
+    q = D.grid.q
+    send: list[list[np.ndarray | None]] = [[None] * P for _ in range(P)]
+    for i in range(q):
+        for j in range(q):
+            src = D.grid.rank_of(i, j)
+            b = D.blocks[i][j]
+            if b.nnz == 0:
+                continue
+            grow = b.row + D.row_bounds[i]
+            gcol = b.col + D.col_bounds[j]
+            dest = np.searchsorted(bounds, grow, side="right") - 1
+            for d in range(P):
+                sel = dest == d
+                if sel.any():
+                    send[src][d] = np.concatenate([
+                        grow[sel], gcol[sel], b.vals[sel].ravel()])
+    recv = comm.alltoallv(send, stage=stage)
+
+    out: list[CooMat] = []
+    nf = D.nfields
+    for d in range(P):
+        rows, cols, vals = [], [], []
+        for arr in recv[d]:
+            if arr is None or arr.size == 0:
+                continue
+            k = arr.shape[0] // (2 + nf)
+            rows.append(arr[:k] - bounds[d])
+            cols.append(arr[k:2 * k])
+            vals.append(arr[2 * k:].reshape(k, nf))
+        local_shape = (int(bounds[d + 1] - bounds[d]), D.shape[1])
+        if rows:
+            out.append(CooMat(local_shape, np.concatenate(rows),
+                              np.concatenate(cols), np.vstack(vals)))
+        else:
+            out.append(CooMat.empty(local_shape, nf))
+    return out

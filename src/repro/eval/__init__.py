@@ -1,0 +1,25 @@
+"""Evaluation harness: scaled datasets, metrics, per-table/figure experiment
+drivers, and plain-text reporting."""
+
+from .datasets import PRESETS, DatasetPreset, load_preset
+from .metrics import (graph_edge_recall, overlap_recall_precision,
+                      parallel_efficiency, speedup_series)
+from .experiments import (fig4_strong_scaling, fig5to8_breakdown,
+                          fig9_1d_vs_2d, minimap_comparison,
+                          pipeline_for_preset, table1_comm_costs,
+                          table3_sparsity, table4_datasets,
+                          table6_tr_vs_sora)
+from .report import format_table, format_value, print_table
+from .assembly_metrics import (contig_spans, genome_coverage, misjoin_count,
+                               n50)
+
+__all__ = [
+    "PRESETS", "DatasetPreset", "load_preset",
+    "graph_edge_recall", "overlap_recall_precision", "parallel_efficiency",
+    "speedup_series",
+    "fig4_strong_scaling", "fig5to8_breakdown", "fig9_1d_vs_2d",
+    "minimap_comparison", "pipeline_for_preset", "table1_comm_costs",
+    "table3_sparsity", "table4_datasets", "table6_tr_vs_sora",
+    "format_table", "format_value", "print_table",
+    "contig_spans", "genome_coverage", "misjoin_count", "n50",
+]

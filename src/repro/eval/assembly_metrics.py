@@ -1,0 +1,73 @@
+"""Assembly-quality metrics for contig sets.
+
+The paper stops at the layout stage, but the purpose of a good string graph
+is a good assembly; these metrics quantify that downstream quality against
+the simulator's ground truth:
+
+* :func:`contig_spans` — genomic interval each contig covers (via the true
+  layout of its reads) plus a consistency check that consecutive reads in
+  the contig really are genome neighbours;
+* :func:`n50` — the standard contiguity statistic;
+* :func:`genome_coverage` — fraction of the genome covered by contigs of a
+  minimum read count;
+* :func:`misjoin_count` — contigs whose consecutive reads are *not*
+  overlapping on the genome (layout errors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.contigs import Contig
+from ..seqs.simulator import TrueLayout
+
+__all__ = ["contig_spans", "n50", "genome_coverage", "misjoin_count"]
+
+
+def contig_spans(contigs: list[Contig], layout: TrueLayout
+                 ) -> list[tuple[int, int]]:
+    """Genomic (start, end) interval spanned by each contig's reads."""
+    spans = []
+    for c in contigs:
+        starts = layout.start[np.array(c.reads)]
+        ends = layout.end[np.array(c.reads)]
+        spans.append((int(starts.min()), int(ends.max())))
+    return spans
+
+
+def n50(lengths: list[int]) -> int:
+    """N50 of a set of lengths: the length L such that intervals of length
+    >= L cover at least half the total."""
+    if not lengths:
+        return 0
+    ordered = sorted(lengths, reverse=True)
+    total = sum(ordered)
+    acc = 0
+    for L in ordered:
+        acc += L
+        if 2 * acc >= total:
+            return L
+    return ordered[-1]  # pragma: no cover
+
+
+def genome_coverage(contigs: list[Contig], layout: TrueLayout,
+                    genome_length: int, min_reads: int = 2) -> float:
+    """Fraction of genome positions covered by contigs with >= ``min_reads``
+    reads (union of their true spans)."""
+    covered = np.zeros(genome_length, dtype=bool)
+    for c, (lo, hi) in zip(contigs, contig_spans(contigs, layout)):
+        if len(c) >= min_reads:
+            covered[lo:hi] = True
+    return float(covered.mean())
+
+
+def misjoin_count(contigs: list[Contig], layout: TrueLayout,
+                  min_overlap: int = 1) -> int:
+    """Number of adjacent read pairs inside contigs that do **not** overlap
+    on the genome — each is a layout error (misjoin)."""
+    bad = 0
+    for c in contigs:
+        for a, b in zip(c.reads, c.reads[1:]):
+            if layout.true_overlap(a, b) < min_overlap:
+                bad += 1
+    return bad

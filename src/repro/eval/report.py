@@ -1,0 +1,51 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The evaluation scripts print the same rows/series the paper reports; these
+helpers keep the formatting consistent (fixed-width columns, 3 significant
+digits for floats) so bench output is diff-able run to run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_value", "print_table"]
+
+
+def format_value(v) -> str:
+    """Human formatting: 3-significant-digit floats, plain ints/strings."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render row dicts as a fixed-width text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[format_value(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                title: str | None = None) -> None:
+    print(format_table(rows, columns, title))

@@ -1,0 +1,79 @@
+"""Machine models for communication/compute time estimation.
+
+The paper evaluates on two systems (Table V): Cori Haswell (Cray XC40,
+Aries dragonfly) and Summit CPU (IBM POWER9, InfiniBand fat tree).  We cannot
+run on either, so each is represented by an **α–β (latency–bandwidth) model**
+plus a relative compute-throughput factor:
+
+``T_comm = α · messages + bytes / β``            (per rank, max over ranks)
+``T_comp = compute_scale · measured_local_time`` (max over ranks)
+
+The α/β values are representative published figures for the interconnects
+(Aries: ~1.4 µs latency, ~10 GB/s injection; dual-rail EDR InfiniBand:
+~1.1 µs, ~12 GB/s).  ``compute_scale`` encodes the paper's observation that
+the same code ran somewhat slower per-core on POWER9 (SeqAn alignment was not
+optimized for it, Section VII-A); the absolute value only shifts curves, not
+their shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "CORI_HASWELL", "SUMMIT_CPU", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """α–β machine model.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    cores_per_node:
+        Physical cores per node (Table V).
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Bandwidth in bytes/second per rank.
+    compute_scale:
+        Multiplier applied to locally measured compute time to model this
+        machine's per-core throughput relative to the host running the
+        simulation.
+    """
+
+    name: str
+    cores_per_node: int
+    alpha: float
+    beta: float
+    compute_scale: float = 1.0
+
+    def comm_time(self, n_bytes: float, n_messages: float) -> float:
+        """Modeled communication time for a (bytes, messages) volume."""
+        return self.alpha * n_messages + n_bytes / self.beta
+
+    def nodes_for(self, nprocs: int, ranks_per_node: int = 32) -> float:
+        """Node count used when reporting in the paper's per-node axes."""
+        return max(1.0, nprocs / ranks_per_node)
+
+
+#: Cori Haswell partition: 2x16-core Xeon E5-2698v3, Aries dragonfly.
+CORI_HASWELL = MachineModel(
+    name="Cori Haswell",
+    cores_per_node=32,
+    alpha=1.4e-6,
+    beta=10e9,
+    compute_scale=1.0,
+)
+
+#: Summit CPU-only: 2x22-core POWER9, EDR InfiniBand non-blocking fat tree.
+SUMMIT_CPU = MachineModel(
+    name="Summit CPU",
+    cores_per_node=42,
+    alpha=1.1e-6,
+    beta=12e9,
+    compute_scale=1.25,
+)
+
+MACHINES = {"cori": CORI_HASWELL, "summit": SUMMIT_CPU}

@@ -1,0 +1,153 @@
+"""Per-stage communication accounting and compute timing.
+
+The paper's communication analysis (Section V, Table I) is stated in words
+(bandwidth cost ``W``) and messages (latency cost ``Y``) **per process**.
+:class:`CommTracker` records exactly those quantities for every pipeline
+stage as collectives execute, and :class:`StageTimer` records wall-clock
+compute per rank per superstep, reducing with ``max`` over ranks — the same
+reduction a lock-step SPMD program's critical path performs.
+
+Together they let a single-process simulation report both
+
+* *measured* communication volumes (to validate Table I's formulas), and
+* *modeled* runtimes on a given :class:`~repro.mpisim.machine.MachineModel`
+  (to reproduce the scaling shapes of Figs. 4–9).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+import numpy as np
+
+from .machine import MachineModel
+
+__all__ = ["CommRecord", "CommTracker", "StageTimer"]
+
+
+class CommRecord:
+    """Accumulated communication for one stage: per-rank bytes/messages."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.bytes_per_rank = np.zeros(nprocs, dtype=np.float64)
+        self.messages_per_rank = np.zeros(nprocs, dtype=np.float64)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes_per_rank.sum())
+
+    @property
+    def total_messages(self) -> float:
+        return float(self.messages_per_rank.sum())
+
+    @property
+    def max_bytes(self) -> float:
+        return float(self.bytes_per_rank.max())
+
+    @property
+    def max_messages(self) -> float:
+        return float(self.messages_per_rank.max())
+
+
+class CommTracker:
+    """Collects per-stage :class:`CommRecord`\\ s from collectives."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self.records: dict[str, CommRecord] = {}
+
+    def record(self, stage: str, rank: int, n_bytes: float, n_messages: float
+               ) -> None:
+        """Attribute ``n_bytes`` sent and ``n_messages`` issued to ``rank``."""
+        rec = self.records.get(stage)
+        if rec is None:
+            rec = self.records[stage] = CommRecord(self.nprocs)
+        rec.bytes_per_rank[rank] += n_bytes
+        rec.messages_per_rank[rank] += n_messages
+
+    def stage_comm_time(self, stage: str, machine: MachineModel) -> float:
+        """Modeled α–β communication time of one stage (critical rank)."""
+        rec = self.records.get(stage)
+        if rec is None:
+            return 0.0
+        return machine.comm_time(rec.max_bytes, rec.max_messages)
+
+    def words(self, stage: str, word_bytes: int = 8) -> float:
+        """Max per-rank word count for a stage (Table I's ``W``)."""
+        rec = self.records.get(stage)
+        return 0.0 if rec is None else rec.max_bytes / word_bytes
+
+    def messages(self, stage: str) -> float:
+        """Max per-rank message count for a stage (Table I's ``Y``)."""
+        rec = self.records.get(stage)
+        return 0.0 if rec is None else rec.max_messages
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Dict of per-stage totals, for reports and tests."""
+        return {
+            stage: {
+                "total_bytes": rec.total_bytes,
+                "max_bytes": rec.max_bytes,
+                "total_messages": rec.total_messages,
+                "max_messages": rec.max_messages,
+            }
+            for stage, rec in self.records.items()
+        }
+
+
+class StageTimer:
+    """Wall-clock compute timing with SPMD max-over-ranks semantics.
+
+    Local compute of the simulated ranks executes sequentially in this
+    process; what a real SPMD run would experience per superstep is the
+    *maximum* over ranks.  Usage::
+
+        with timer.superstep("SpGEMM") as step:
+            for rank in range(P):
+                with step.rank(rank):
+                    ... local work of `rank` ...
+
+    On superstep exit, ``max`` over per-rank durations is added to the
+    stage's accumulated time.  :meth:`add` allows direct charging (e.g., for
+    modeled components).
+    """
+
+    def __init__(self) -> None:
+        self.stage_seconds: dict[str, float] = defaultdict(float)
+        self.stage_supersteps: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def superstep(self, stage: str):
+        step = _Superstep()
+        yield step
+        self.stage_seconds[stage] += step.max_rank_time()
+        self.stage_supersteps[stage] += 1
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] += seconds
+
+    def total(self) -> float:
+        return float(sum(self.stage_seconds.values()))
+
+    def breakdown(self) -> dict[str, float]:
+        return dict(self.stage_seconds)
+
+
+class _Superstep:
+    def __init__(self) -> None:
+        self._rank_times: dict[int, float] = defaultdict(float)
+
+    @contextmanager
+    def rank(self, rank: int):
+        t0 = time.perf_counter()
+        yield
+        self._rank_times[rank] += time.perf_counter() - t0
+
+    def charge(self, rank: int, seconds: float) -> None:
+        """Directly attribute compute seconds to a rank."""
+        self._rank_times[rank] += seconds
+
+    def max_rank_time(self) -> float:
+        return max(self._rank_times.values(), default=0.0)

@@ -1,0 +1,24 @@
+"""Genomics substrate: DNA primitives, k-mers, Bloom filter, FASTA I/O,
+read simulation, minimizers, and the distributed k-mer counter."""
+
+from .dna import (ALPHABET, GenomeSpec, canonical, decode, encode,
+                  random_genome, revcomp, revcomp_codes)
+from .kmers import (MAX_K, canonical_kmers, kmer_to_string, pack_kmers,
+                    read_kmers, revcomp_kmers, splitmix64, string_to_kmer)
+from .bloom import BloomFilter
+from .fasta import ReadSet, chunked_read_ranges, read_fasta, write_fasta
+from .simulator import ErrorModel, ReadSimSpec, TrueLayout, simulate_reads
+from .minimizers import minimizers
+from .kmer_counter import KmerTable, count_kmers, reliable_upper_bound
+
+__all__ = [
+    "ALPHABET", "GenomeSpec", "canonical", "decode", "encode",
+    "random_genome", "revcomp", "revcomp_codes",
+    "MAX_K", "canonical_kmers", "kmer_to_string", "pack_kmers", "read_kmers",
+    "revcomp_kmers", "splitmix64", "string_to_kmer",
+    "BloomFilter",
+    "ReadSet", "chunked_read_ranges", "read_fasta", "write_fasta",
+    "ErrorModel", "ReadSimSpec", "TrueLayout", "simulate_reads",
+    "minimizers",
+    "KmerTable", "count_kmers", "reliable_upper_bound",
+]

@@ -1,0 +1,112 @@
+"""Bloom filter over packed k-mers.
+
+diBELLA 2D eliminates singleton k-mers with a Bloom filter during the first
+pass of k-mer counting (paper Section IV-C, citing Melsted & Pritchard).  A
+k-mer is only inserted into the counting hash table once it is seen for the
+*second* time, so the vast majority of error k-mers (which occur once) never
+occupy table memory.
+
+The implementation is a plain bit array with ``n_hashes`` probes derived from
+two independent splitmix64 mixes (Kirsch–Mitzenmacher double hashing), all
+numpy-vectorized over batches of k-mers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .kmers import splitmix64
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter for ``uint64`` keys.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of distinct keys.
+    fp_rate:
+        Target false-positive probability; sizes the bit array as
+        ``m = -n ln p / (ln 2)^2`` and uses ``h = m/n ln 2`` hash probes.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        m = max(64, int(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        self.n_bits = int(m)
+        self.n_hashes = max(1, round(m / capacity * math.log(2)))
+        self._bits = np.zeros((self.n_bits + 63) // 64, dtype=np.uint64)
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+
+    # -- hashing ---------------------------------------------------------
+    def _probe_positions(self, keys: np.ndarray) -> np.ndarray:
+        """(len(keys), n_hashes) array of bit positions (double hashing)."""
+        h1 = splitmix64(keys)
+        h2 = splitmix64(keys ^ np.uint64(0xA5A5A5A5A5A5A5A5)) | np.uint64(1)
+        i = np.arange(self.n_hashes, dtype=np.uint64)[None, :]
+        return (h1[:, None] + i * h2[:, None]) % np.uint64(self.n_bits)
+
+    # -- operations ------------------------------------------------------
+    def add(self, keys: np.ndarray) -> None:
+        """Insert a batch of keys."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        pos = self._probe_positions(keys).ravel()
+        np.bitwise_or.at(self._bits, pos >> np.uint64(6),
+                         np.uint64(1) << (pos & np.uint64(63)))
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Membership test for a batch of keys (vectorized).
+
+        Returns a boolean array; true entries may include false positives at
+        roughly the configured rate, never false negatives.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._probe_positions(keys)
+        words = self._bits[pos >> np.uint64(6)]
+        hit = (words >> (pos & np.uint64(63))) & np.uint64(1)
+        return hit.all(axis=1)
+
+    def add_and_test(self, keys: np.ndarray) -> np.ndarray:
+        """Insert keys and report which were (probably) already present.
+
+        This is the first-pass primitive of the two-pass counter: the
+        returned mask marks k-mers seen at least twice, which are the only
+        ones admitted to the counting table.  Duplicate keys *within* the
+        batch are handled: the second and later occurrences in the batch
+        report present.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        seen = np.zeros(keys.shape[0], dtype=bool)
+        # Process in insertion order but vectorized: first test the whole
+        # batch against the pre-batch filter, then account for intra-batch
+        # duplicates via sorting (first occurrence of a duplicated key is
+        # "new", later ones are "seen").
+        pre = self.contains(keys)
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        dup_of_prev = np.zeros(sk.shape[0], dtype=bool)
+        dup_of_prev[1:] = sk[1:] == sk[:-1]
+        seen[order] = dup_of_prev
+        seen |= pre
+        self.add(keys)
+        return seen
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (diagnostic; high values degrade accuracy)."""
+        set_bits = int(np.bitwise_count(self._bits).sum())
+        return set_bits / self.n_bits

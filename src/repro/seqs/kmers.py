@@ -1,0 +1,141 @@
+"""Vectorized k-mer extraction, canonicalization, and hashing.
+
+K-mers with ``k <= 31`` are packed into ``uint64`` values, two bits per base,
+most-significant base first.  All operations are numpy-vectorized; a read of
+length *l* yields its ``l - k + 1`` k-mers with no Python-level loop over
+positions.
+
+The functions here are the workhorses of both the k-mer counter
+(:mod:`repro.seqs.kmer_counter`) and the construction of the ``A`` matrix
+(:mod:`repro.core.overlap`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MAX_K",
+    "pack_kmers",
+    "revcomp_kmers",
+    "canonical_kmers",
+    "read_kmers",
+    "kmer_to_string",
+    "string_to_kmer",
+    "splitmix64",
+]
+
+MAX_K = 31
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def pack_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    """Pack every length-``k`` window of a 2-bit code array into ``uint64``.
+
+    Parameters
+    ----------
+    codes:
+        ``uint8`` code array for one read.
+    k:
+        K-mer length (``<= 31`` so the packed value fits 62 bits).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of length ``len(codes) - k + 1`` (empty if the read
+        is shorter than ``k``).
+    """
+    _check_k(k)
+    n = codes.shape[0]
+    if n < k:
+        return np.empty(0, dtype=np.uint64)
+    windows = np.lib.stride_tricks.sliding_window_view(codes, k).astype(np.uint64)
+    weights = (np.uint64(1) << (np.uint64(2) * np.arange(k - 1, -1, -1, dtype=np.uint64)))
+    return windows @ weights
+
+
+def revcomp_kmers(kmers: np.ndarray, k: int) -> np.ndarray:
+    """Reverse-complement packed k-mers, vectorized with bit tricks.
+
+    Complementing a 2-bit code ``c`` is ``3 - c``, which over the packed word
+    is bitwise NOT restricted to the low ``2k`` bits.  Reversal of the k
+    two-bit groups is done with the classic swap cascade (pairs, nibbles,
+    bytes, ...) followed by a right shift to drop the unused high bits.
+    """
+    _check_k(k)
+    x = (~kmers).astype(np.uint64)
+    # Swap adjacent 2-bit groups' order progressively: 2-bit groups inside
+    # 4-bit, then 4 inside 8, 8 inside 16, 16 inside 32, 32 inside 64.
+    m = np.uint64
+    x = ((x & m(0x3333333333333333)) << m(2)) | ((x >> m(2)) & m(0x3333333333333333))
+    x = ((x & m(0x0F0F0F0F0F0F0F0F)) << m(4)) | ((x >> m(4)) & m(0x0F0F0F0F0F0F0F0F))
+    x = ((x & m(0x00FF00FF00FF00FF)) << m(8)) | ((x >> m(8)) & m(0x00FF00FF00FF00FF))
+    x = ((x & m(0x0000FFFF0000FFFF)) << m(16)) | ((x >> m(16)) & m(0x0000FFFF0000FFFF))
+    x = (x << m(32)) | (x >> m(32))
+    return x >> m(64 - 2 * k)
+
+
+def canonical_kmers(kmers: np.ndarray, k: int) -> np.ndarray:
+    """Canonical (lexicographically smaller of self / revcomp) packed k-mers.
+
+    With the MSB-first 2-bit packing, integer order on packed words equals
+    lexicographic order on the strings, so ``min`` suffices.
+    """
+    return np.minimum(kmers, revcomp_kmers(kmers, k))
+
+
+def read_kmers(codes: np.ndarray, k: int, canonical: bool = True
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """All k-mers of one read together with their positions.
+
+    Returns
+    -------
+    (kmers, positions):
+        ``uint64`` packed (canonical by default) k-mers and their ``int64``
+        start offsets in the read.
+    """
+    km = pack_kmers(codes, k)
+    pos = np.arange(km.shape[0], dtype=np.int64)
+    if canonical:
+        km = canonical_kmers(km, k)
+    return km, pos
+
+
+def kmer_to_string(kmer: int, k: int) -> str:
+    """Unpack a packed k-mer back into its ACGT string (for debugging)."""
+    _check_k(k)
+    out = []
+    for shift in range(2 * (k - 1), -2, -2):
+        out.append("ACGT"[(int(kmer) >> shift) & 3])
+    return "".join(out)
+
+
+def string_to_kmer(s: str) -> int:
+    """Pack an ACGT string (``len(s) <= 31``) into its ``uint64`` value."""
+    _check_k(len(s))
+    val = 0
+    for ch in s:
+        val = (val << 2) | "ACGT".index(ch)
+    return val
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer — a cheap, high-quality 64-bit mixer.
+
+    Used to hash k-mers both for Bloom-filter probes and for the
+    processor-assignment function of the distributed k-mer counter (the
+    paper relies on the hash mapping k-mers "uniformly and randomly" across
+    processors for its load-balance argument, Section V-A).
+    """
+    x = x.astype(np.uint64, copy=True)
+    x += np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x

@@ -1,0 +1,55 @@
+"""(w, k)-minimizer extraction for the minimap-like baseline.
+
+minimap2 (Li 2018) indexes reads by minimizers — the smallest (by a hash
+order) k-mer in every window of ``w`` consecutive k-mers — and estimates
+pairwise similarity from shared minimizers without base-level alignment.
+The paper compares diBELLA 2D against minimap2 on a single node
+(Section VII-B); :mod:`repro.baselines.minimap_like` builds on this module.
+
+Extraction is numpy-vectorized with a sliding-window argmin over the hashed
+canonical k-mer sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kmers import pack_kmers, canonical_kmers, splitmix64
+
+__all__ = ["minimizers"]
+
+
+def minimizers(codes: np.ndarray, k: int, w: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return the (w, k)-minimizers of one read.
+
+    Parameters
+    ----------
+    codes:
+        2-bit code array of the read.
+    k:
+        K-mer length.
+    w:
+        Window size in k-mers; each window of ``w`` consecutive k-mers
+        contributes its hash-minimal canonical k-mer.
+
+    Returns
+    -------
+    (kmers, positions):
+        Deduplicated ``uint64`` canonical minimizer k-mers and their start
+        positions, in ascending position order.  A k-mer minimal in several
+        overlapping windows is reported once per distinct position.
+    """
+    if w < 1:
+        raise ValueError("w must be >= 1")
+    km = pack_kmers(codes, k)
+    if km.shape[0] == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    can = canonical_kmers(km, k)
+    order = splitmix64(can)  # random order breaks lexicographic bias
+    if order.shape[0] <= w:
+        pos = np.array([int(np.argmin(order))], dtype=np.int64)
+        return can[pos], pos
+    windows = np.lib.stride_tricks.sliding_window_view(order, w)
+    arg = windows.argmin(axis=1) + np.arange(windows.shape[0], dtype=np.int64)
+    pos = np.unique(arg)
+    return can[pos], pos

@@ -1,0 +1,212 @@
+"""Synthetic long-read simulator (PacBio CLR-like error model).
+
+The paper evaluates on PacBio CLR read sets (Table IV: C. elegans at depth
+40 / 13% error, H. sapiens at depth 10 / 15% error).  Those read sets are
+tens of GB and not redistributable here, so this module generates the closest
+synthetic equivalent:
+
+* genome with controlled repeat content (:class:`repro.seqs.dna.GenomeSpec`),
+* read lengths drawn from a clipped lognormal (CLR length distributions are
+  heavy-tailed),
+* per-base errors at a configurable rate split between substitutions,
+  insertions and deletions (CLR errors are indel-dominated),
+* both strands sampled uniformly.
+
+Every read records its true genome interval and strand (:class:`TrueLayout`),
+which downstream metrics use to score overlap detection against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dna import GenomeSpec, random_genome, revcomp_codes
+from .fasta import ReadSet
+
+__all__ = ["ErrorModel", "ReadSimSpec", "TrueLayout", "simulate_reads"]
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Per-base sequencing error model.
+
+    Attributes
+    ----------
+    rate:
+        Total per-base error probability.
+    sub_frac, ins_frac, del_frac:
+        How the error mass splits between substitutions, insertions and
+        deletions; must sum to 1.  Defaults follow the CLR indel-dominated
+        profile.
+    """
+
+    rate: float = 0.15
+    sub_frac: float = 0.2
+    ins_frac: float = 0.5
+    del_frac: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError("error rate must be in [0, 1)")
+        total = self.sub_frac + self.ins_frac + self.del_frac
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("sub/ins/del fractions must sum to 1")
+
+
+@dataclass(frozen=True)
+class ReadSimSpec:
+    """Full specification of a simulated read set.
+
+    Attributes
+    ----------
+    genome:
+        The underlying :class:`GenomeSpec`.
+    depth:
+        Target coverage depth ``d`` (reads are drawn until total bases reach
+        ``depth * genome.length``).
+    mean_len / sigma_len:
+        Lognormal length parameters (mean of the *resulting* distribution and
+        the underlying normal sigma).
+    min_len:
+        Reads shorter than this are redrawn (mirrors CLR length filtering).
+    error:
+        The :class:`ErrorModel`.
+    seed:
+        RNG seed for the read sampling (independent of the genome seed).
+    """
+
+    genome: GenomeSpec
+    depth: float = 30.0
+    mean_len: float = 1000.0
+    sigma_len: float = 0.3
+    min_len: int = 300
+    error: ErrorModel = field(default_factory=ErrorModel)
+    seed: int = 1
+
+
+@dataclass
+class TrueLayout:
+    """Ground-truth placement of simulated reads on the genome.
+
+    ``start``/``end`` are genome coordinates of the sampled (error-free)
+    interval; ``strand`` is 0 for forward, 1 for reverse complement.
+    """
+
+    start: np.ndarray
+    end: np.ndarray
+    strand: np.ndarray
+
+    def true_overlap(self, i: int, j: int) -> int:
+        """Length (bp) of the genomic interval shared by reads i and j."""
+        lo = max(int(self.start[i]), int(self.start[j]))
+        hi = min(int(self.end[i]), int(self.end[j]))
+        return max(0, hi - lo)
+
+    def overlap_pairs(self, min_overlap: int) -> set[tuple[int, int]]:
+        """All read pairs (i < j) with true overlap >= ``min_overlap``.
+
+        Computed by sorting interval starts and sweeping, so it is
+        near-linear in the number of reads plus output pairs.
+        """
+        order = np.argsort(self.start, kind="stable")
+        starts = self.start[order]
+        ends = self.end[order]
+        pairs: set[tuple[int, int]] = set()
+        import heapq
+
+        active: list[tuple[int, int]] = []  # (end, original index)
+        for pos in range(order.shape[0]):
+            s, e, orig = int(starts[pos]), int(ends[pos]), int(order[pos])
+            while active and active[0][0] - s < min_overlap:
+                heapq.heappop(active)
+            for ae, aorig in active:
+                if min(ae, e) - s >= min_overlap:
+                    a, b = (aorig, orig) if aorig < orig else (orig, aorig)
+                    pairs.add((a, b))
+            heapq.heappush(active, (e, orig))
+        return pairs
+
+
+def _apply_errors(codes: np.ndarray, model: ErrorModel,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Apply the error model to one read, fully vectorized.
+
+    Each position independently gets one of {keep, substitute, insert-before,
+    delete}.  The output is assembled with a repeat-count trick: position
+    output counts are 1 (keep/substitute), 0 (delete) or 2 (insert + keep),
+    and ``np.repeat`` materializes the output index map in one shot.
+    """
+    if model.rate == 0.0 or codes.size == 0:
+        return codes.copy()
+    n = codes.shape[0]
+    u = rng.random(n)
+    p_sub = model.rate * model.sub_frac
+    p_ins = model.rate * model.ins_frac
+    p_del = model.rate * model.del_frac
+    sub = u < p_sub
+    ins = (u >= p_sub) & (u < p_sub + p_ins)
+    dele = (u >= p_sub + p_ins) & (u < p_sub + p_ins + p_del)
+
+    base = codes.copy()
+    if sub.any():
+        # Substitute with one of the three *other* bases.
+        base[sub] = (base[sub] + rng.integers(1, 4, size=int(sub.sum()),
+                                              dtype=np.uint8)) % 4
+    counts = np.ones(n, dtype=np.int64)
+    counts[dele] = 0
+    counts[ins] = 2
+    src = np.repeat(np.arange(n, dtype=np.int64), counts)
+    out = base[src]
+    # The first copy of each insertion position is the inserted random base.
+    out_pos_of_first = np.cumsum(counts) - counts  # output offset per source pos
+    ins_out = out_pos_of_first[ins]
+    out[ins_out] = rng.integers(0, 4, size=ins_out.shape[0], dtype=np.uint8)
+    return out
+
+
+def simulate_reads(spec: ReadSimSpec) -> tuple[np.ndarray, ReadSet, TrueLayout]:
+    """Generate a genome and a simulated read set over it.
+
+    Returns
+    -------
+    (genome, reads, layout):
+        The genome code array, the error-mutated :class:`ReadSet` and the
+        ground-truth :class:`TrueLayout` (coordinates refer to the clean
+        genome; layout order matches read order).
+    """
+    genome = random_genome(spec.genome)
+    glen = genome.shape[0]
+    rng = np.random.default_rng(spec.seed)
+    target_bases = int(spec.depth * glen)
+
+    mu = np.log(spec.mean_len) - spec.sigma_len ** 2 / 2.0
+    starts: list[int] = []
+    ends: list[int] = []
+    strands: list[int] = []
+    seqs: list[np.ndarray] = []
+    names: list[str] = []
+    total = 0
+    i = 0
+    while total < target_bases:
+        length = int(rng.lognormal(mu, spec.sigma_len))
+        length = min(max(length, spec.min_len), glen)
+        start = int(rng.integers(0, glen - length + 1))
+        strand = int(rng.integers(0, 2))
+        clean = genome[start:start + length]
+        if strand:
+            clean = revcomp_codes(clean)
+        noisy = _apply_errors(clean, spec.error, rng)
+        starts.append(start)
+        ends.append(start + length)
+        strands.append(strand)
+        seqs.append(noisy)
+        names.append(f"read{i}_{start}_{start + length}_{strand}")
+        total += length
+        i += 1
+
+    layout = TrueLayout(np.array(starts, dtype=np.int64),
+                        np.array(ends, dtype=np.int64),
+                        np.array(strands, dtype=np.int64))
+    return genome, ReadSet(names, seqs), layout

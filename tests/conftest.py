@@ -1,0 +1,62 @@
+"""Shared fixtures: small simulated datasets and prebuilt pipeline artifacts.
+
+Session-scoped so the (seconds-long) simulations and pipeline runs execute
+once per test session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.overlap import align_candidates, build_a_matrix, \
+    candidate_overlaps
+from repro.core.string_graph import StringGraph
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
+from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
+from repro.seqs.kmer_counter import count_kmers
+
+
+@pytest.fixture(scope="session")
+def clean_dataset():
+    """Error-free reads over a 10 kb genome (both strands)."""
+    return simulate_reads(
+        ReadSimSpec(GenomeSpec(length=10_000, seed=3), depth=12,
+                    mean_len=700, min_len=400, sigma_len=0.2,
+                    error=ErrorModel(rate=0.0), seed=5))
+
+
+@pytest.fixture(scope="session")
+def noisy_dataset():
+    """Reads with 5% CLR-style errors over a 12 kb genome."""
+    return simulate_reads(
+        ReadSimSpec(GenomeSpec(length=12_000, seed=11), depth=12,
+                    mean_len=700, min_len=400, sigma_len=0.25,
+                    error=ErrorModel(rate=0.05), seed=13))
+
+
+def build_overlap_graph(reads, k=17, nprocs=1, mode="chain", fuzz=20,
+                        upper=40):
+    """Overlap graph R (pre-reduction) for a read set."""
+    comm = SimComm(nprocs, CommTracker(nprocs))
+    timer = StageTimer()
+    grid = ProcessGrid2D(nprocs)
+    table = count_kmers(reads, k, comm, timer, upper=upper)
+    A = build_a_matrix(reads, table, grid, comm, timer)
+    C = candidate_overlaps(A, comm, timer)
+    R = align_candidates(C, reads, k, comm, timer, mode=mode, fuzz=fuzz)
+    return StringGraph.from_coomat(R.to_global()), R, comm, timer
+
+
+@pytest.fixture(scope="session")
+def clean_overlap_graph(clean_dataset):
+    _genome, reads, _layout = clean_dataset
+    graph, R, comm, timer = build_overlap_graph(reads)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def noisy_overlap_graph(noisy_dataset):
+    _genome, reads, _layout = noisy_dataset
+    graph, R, comm, timer = build_overlap_graph(reads, fuzz=100)
+    return graph

@@ -1,0 +1,67 @@
+"""Tests for assembly-quality metrics and the end-to-end assembly check."""
+
+import numpy as np
+import pytest
+
+from repro.core.contigs import Contig, extract_contigs
+from repro.eval.assembly_metrics import (contig_spans, genome_coverage,
+                                         misjoin_count, n50)
+from repro.seqs.simulator import TrueLayout
+
+
+def _layout():
+    return TrueLayout(np.array([0, 80, 160, 500]),
+                      np.array([100, 180, 260, 600]),
+                      np.array([0, 0, 0, 0]))
+
+
+def test_n50_basic():
+    assert n50([100]) == 100
+    assert n50([50, 50, 100]) == 100  # 100 covers half of 200
+    assert n50([10, 10, 10, 10]) == 10
+    assert n50([]) == 0
+
+
+def test_n50_skewed():
+    # total 150; 100 >= 75 at the first element.
+    assert n50([100, 30, 20]) == 100
+
+
+def test_contig_spans():
+    contigs = [Contig([0, 1, 2], [0, 0, 0]), Contig([3], [0])]
+    spans = contig_spans(contigs, _layout())
+    assert spans == [(0, 260), (500, 600)]
+
+
+def test_genome_coverage():
+    contigs = [Contig([0, 1, 2], [0, 0, 0]), Contig([3], [0])]
+    cov = genome_coverage(contigs, _layout(), genome_length=600,
+                          min_reads=2)
+    assert cov == pytest.approx(260 / 600)
+    cov_all = genome_coverage(contigs, _layout(), genome_length=600,
+                              min_reads=1)
+    assert cov_all == pytest.approx(360 / 600)
+
+
+def test_misjoin_count():
+    good = Contig([0, 1, 2], [0, 0, 0])   # consecutive overlaps exist
+    bad = Contig([0, 3], [0, 0])           # 0 and 3 are disjoint
+    assert misjoin_count([good], _layout()) == 0
+    assert misjoin_count([bad], _layout()) == 1
+
+
+def test_pipeline_assembly_quality(clean_dataset):
+    """End to end on clean reads: contigs must be misjoin-free and cover a
+    large fraction of the genome."""
+    from repro import PipelineConfig, run_pipeline
+    genome, reads, layout = clean_dataset
+    res = run_pipeline(reads, PipelineConfig(
+        k=17, nprocs=1, align_mode="chain", depth_hint=12, error_hint=0.0,
+        fuzz=20))
+    contigs = extract_contigs(res.string_graph)
+    assert misjoin_count(contigs, layout) == 0
+    cov = genome_coverage(contigs, layout, genome.shape[0], min_reads=2)
+    assert cov > 0.5
+    spans = [hi - lo for lo, hi in contig_spans(contigs, layout)]
+    # Contigs must be substantially longer than single reads (mean 700 bp).
+    assert n50(spans) > 750

@@ -1,0 +1,79 @@
+"""Tests for strip-mined overlap detection (the future-work memory mode)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import candidate_overlaps_blocked
+from repro.core.overlap import align_candidates, build_a_matrix, \
+    candidate_overlaps
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
+from repro.seqs.kmer_counter import count_kmers
+
+
+def _setup(reads, P=1):
+    comm = SimComm(P, CommTracker(P))
+    timer = StageTimer()
+    grid = ProcessGrid2D(P)
+    table = count_kmers(reads, 17, comm, timer, upper=40)
+    A = build_a_matrix(reads, table, grid, comm, timer)
+    return A, comm, timer
+
+
+@pytest.mark.parametrize("P,strips", [(1, 3), (4, 2), (4, 5)])
+def test_blocked_matches_monolithic(clean_dataset, P, strips):
+    """The strip-mined path must produce a bit-identical R."""
+    _genome, reads, _layout = clean_dataset
+    A, comm, timer = _setup(reads, P)
+    C = candidate_overlaps(A, comm, timer)
+    R_mono = align_candidates(C, reads, 17, comm, timer, mode="chain",
+                              fuzz=20).to_global()
+    res = candidate_overlaps_blocked(A, reads, 17, comm, strips, timer,
+                                     mode="chain", fuzz=20)
+    R_blk = res.R.to_global()
+    assert np.array_equal(R_blk.row, R_mono.row)
+    assert np.array_equal(R_blk.col, R_mono.col)
+    assert np.array_equal(R_blk.vals, R_mono.vals)
+
+
+def test_blocked_counts_match_monolithic(clean_dataset):
+    _genome, reads, _layout = clean_dataset
+    A, comm, timer = _setup(reads)
+    C = candidate_overlaps(A, comm, timer)
+    res = candidate_overlaps_blocked(A, reads, 17, comm, 4, timer,
+                                     mode="chain", fuzz=20)
+    assert res.nnz_c == C.nnz()
+    assert res.n_strips == 4
+
+
+def test_blocked_reduces_peak_memory(clean_dataset):
+    """More strips => smaller candidate-matrix high-water mark."""
+    _genome, reads, _layout = clean_dataset
+    A, comm, timer = _setup(reads)
+    res1 = candidate_overlaps_blocked(A, reads, 17, comm, 1, timer,
+                                      mode="chain", fuzz=20)
+    res8 = candidate_overlaps_blocked(A, reads, 17, comm, 8, timer,
+                                      mode="chain", fuzz=20)
+    assert res8.peak_strip_nnz < res1.peak_strip_nnz
+    # Roughly proportional to the strip count (within 3x slack for skew).
+    assert res8.peak_strip_nnz < res1.peak_strip_nnz / 8 * 3
+
+
+def test_blocked_single_strip_equals_candidate_overlaps(clean_dataset):
+    _genome, reads, _layout = clean_dataset
+    A, comm, timer = _setup(reads)
+    res = candidate_overlaps_blocked(A, reads, 17, comm, 1, timer,
+                                     mode="chain", fuzz=20)
+    assert res.peak_strip_nnz == res.nnz_c
+
+
+def test_blocked_more_strips_than_reads_ok():
+    """Degenerate: empty strips are skipped without error."""
+    from repro.seqs.dna import encode
+    from repro.seqs.fasta import ReadSet
+    rng = np.random.default_rng(0)
+    base = rng.integers(0, 4, 400).astype(np.uint8)
+    reads = ReadSet(["a", "b"], [base[:300].copy(), base[100:].copy()])
+    A, comm, timer = _setup(reads)
+    res = candidate_overlaps_blocked(A, reads, 17, comm, 10, timer,
+                                     mode="chain", fuzz=20)
+    assert res.R.shape == (2, 2)

@@ -1,0 +1,64 @@
+"""Unit tests for the Bloom filter."""
+
+import numpy as np
+import pytest
+
+from repro.seqs.bloom import BloomFilter
+
+
+def test_no_false_negatives():
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 2 ** 62, size=5000, dtype=np.uint64)
+    bf = BloomFilter(capacity=5000, fp_rate=0.01)
+    bf.add(keys)
+    assert bf.contains(keys).all()
+
+
+def test_false_positive_rate_near_target():
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 2 ** 62, size=20_000, dtype=np.uint64)
+    others = rng.integers(2 ** 62, 2 ** 63, size=20_000, dtype=np.uint64)
+    bf = BloomFilter(capacity=20_000, fp_rate=0.01)
+    bf.add(keys)
+    fp = bf.contains(others).mean()
+    assert fp < 0.05  # generous bound over the 1% target
+
+
+def test_add_and_test_marks_second_occurrence():
+    bf = BloomFilter(capacity=100)
+    keys = np.array([1, 2, 3], dtype=np.uint64)
+    first = bf.add_and_test(keys)
+    assert not first.any()
+    second = bf.add_and_test(keys)
+    assert second.all()
+
+
+def test_add_and_test_intra_batch_duplicates():
+    bf = BloomFilter(capacity=100)
+    keys = np.array([7, 8, 7, 9, 7], dtype=np.uint64)
+    seen = bf.add_and_test(keys)
+    # First occurrence of 7 is new; later duplicates are seen.
+    assert not seen[0]
+    assert seen[2] and seen[4]
+    assert not seen[1] and not seen[3]
+
+
+def test_empty_batch():
+    bf = BloomFilter(capacity=10)
+    assert bf.contains(np.empty(0, dtype=np.uint64)).shape == (0,)
+    assert bf.add_and_test(np.empty(0, dtype=np.uint64)).shape == (0,)
+    bf.add(np.empty(0, dtype=np.uint64))  # no crash
+
+
+def test_fill_ratio_increases():
+    bf = BloomFilter(capacity=1000)
+    assert bf.fill_ratio == 0.0
+    bf.add(np.arange(500, dtype=np.uint64))
+    assert 0.0 < bf.fill_ratio < 1.0
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        BloomFilter(capacity=0)
+    with pytest.raises(ValueError):
+        BloomFilter(capacity=10, fp_rate=1.5)

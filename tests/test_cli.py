@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_simulate_writes_fasta(tmp_path, capsys):
+    out = tmp_path / "reads.fa"
+    rc = main(["simulate", str(out), "--genome-length", "5000",
+               "--depth", "5", "--error-rate", "0.0", "--seed", "3"])
+    assert rc == 0
+    assert out.exists()
+    text = out.read_text()
+    assert text.startswith(">")
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_assemble_end_to_end(tmp_path, capsys):
+    reads = tmp_path / "reads.fa"
+    layout = tmp_path / "layout.tsv"
+    main(["simulate", str(reads), "--genome-length", "8000",
+          "--depth", "10", "--error-rate", "0.0", "--seed", "1"])
+    rc = main(["assemble", str(reads), "--nprocs", "4", "--fuzz", "20",
+               "--depth-hint", "10", "--error-hint", "0.0",
+               "--layout", str(layout)])
+    assert rc == 0
+    lines = layout.read_text().splitlines()
+    assert lines[0] == "contig\tposition\tread\torientation"
+    assert len(lines) > 1
+    out = capsys.readouterr().out
+    assert "nnz(S)" in out and "contigs" in out
+
+
+def test_stats_command(tmp_path, capsys):
+    reads = tmp_path / "reads.fa"
+    main(["simulate", str(reads), "--genome-length", "6000",
+          "--depth", "8", "--error-rate", "0.0", "--seed", "2"])
+    rc = main(["stats", str(reads), "--nprocs", "1", "--fuzz", "20",
+               "--machine", "summit", "--depth-hint", "8",
+               "--error-hint", "0.0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Summit CPU" in out
+    assert "TrReduction" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["assemble", "x.fa"])
+    assert args.k == 17 and args.nprocs == 1
+    assert args.align_mode == "chain"

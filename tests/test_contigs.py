@@ -1,0 +1,89 @@
+"""Tests for contig extraction from string graphs."""
+
+import numpy as np
+
+from repro.core.contigs import extract_contigs
+from repro.core.string_graph import StringGraph
+
+
+def _linear_chain(n):
+    """n collinear forward reads: edges i<->i+1 with E->B attachments."""
+    src, dst, suf, es, ed = [], [], [], [], []
+    for i in range(n - 1):
+        src += [i, i + 1]
+        dst += [i + 1, i]
+        suf += [10, 10]
+        es += [1, 0]
+        ed += [0, 1]
+    return StringGraph(n, np.array(src), np.array(dst), np.array(suf),
+                       np.array(es), np.array(ed))
+
+
+def test_linear_chain_single_contig():
+    g = _linear_chain(6)
+    contigs = extract_contigs(g)
+    assert len(contigs) == 1
+    assert sorted(contigs[0].reads) == list(range(6))
+    # Reads appear in path order (possibly reversed).
+    r = contigs[0].reads
+    assert r == list(range(6)) or r == list(range(5, -1, -1))
+
+
+def test_every_read_in_exactly_one_contig():
+    g = _linear_chain(9)
+    contigs = extract_contigs(g)
+    seen = [r for c in contigs for r in c.reads]
+    assert sorted(seen) == list(range(9))
+
+
+def test_isolated_reads_are_singletons():
+    g = StringGraph(4, np.empty(0, np.int64), np.empty(0, np.int64),
+                    np.empty(0, np.int64), np.empty(0, np.int64),
+                    np.empty(0, np.int64))
+    contigs = extract_contigs(g)
+    assert len(contigs) == 4
+    assert all(len(c) == 1 for c in contigs)
+
+
+def test_branch_stops_walk():
+    # Chain 0-1-2 plus a branch 1-3 attached at the same end of 1 as the
+    # edge to 2: read 1's E end has two attachments -> walks must stop.
+    g = _linear_chain(3)
+    src = np.concatenate([g.src, [1, 3]])
+    dst = np.concatenate([g.dst, [3, 1]])
+    suf = np.concatenate([g.suffix, [10, 10]])
+    es = np.concatenate([g.end_src, [1, 0]])
+    ed = np.concatenate([g.end_dst, [0, 1]])
+    g2 = StringGraph(4, src, dst, suf, es, ed)
+    contigs = extract_contigs(g2)
+    seen = sorted(r for c in contigs for r in c.reads)
+    assert seen == [0, 1, 2, 3]
+    # No contig may contain both 2 and 3 (they're on conflicting branches);
+    # and every contig must be a valid unbranched walk.
+    for c in contigs:
+        assert not ({2, 3} <= set(c.reads))
+
+
+def test_orientation_flip_on_reverse_entry():
+    # Two reads overlapping in reverse-complement: 0's E meets 1's E.
+    g = StringGraph(2, np.array([0, 1]), np.array([1, 0]),
+                    np.array([10, 10]), np.array([1, 1]), np.array([1, 1]))
+    contigs = extract_contigs(g)
+    assert len(contigs) == 1
+    c = contigs[0]
+    assert len(c) == 2
+    # The second read is traversed reversed (entered at its E end).
+    assert c.orientations[0] != c.orientations[1]
+
+
+def test_pipeline_string_graph_yields_long_contigs(clean_dataset):
+    from repro import PipelineConfig, run_pipeline
+    _genome, reads, _layout = clean_dataset
+    res = run_pipeline(reads, PipelineConfig(
+        k=17, nprocs=1, align_mode="chain", depth_hint=12, error_hint=0.0,
+        fuzz=20))
+    contigs = extract_contigs(res.string_graph)
+    # The genome is one molecule: the largest contig should cover a
+    # meaningful fraction of the reads.
+    largest = max(len(c) for c in contigs)
+    assert largest >= max(3, len(reads) // 20)

@@ -1,0 +1,79 @@
+"""Unit tests for the CooMat local sparse container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dsparse.coomat import CooMat
+
+
+def test_canonical_sorting():
+    m = CooMat((3, 3), [2, 0, 1], [1, 2, 0], [[10], [20], [30]])
+    assert m.row.tolist() == [0, 1, 2]
+    assert m.col.tolist() == [2, 0, 1]
+    assert m.vals[:, 0].tolist() == [20, 30, 10]
+
+
+def test_duplicate_coordinates_rejected():
+    with pytest.raises(ValueError):
+        CooMat((2, 2), [0, 0], [1, 1], [[1], [2]])
+
+
+def test_from_to_scipy_roundtrip():
+    rng = np.random.default_rng(0)
+    s = sp.random(20, 30, density=0.1, format="coo",
+                  data_rvs=lambda n: rng.integers(1, 100, n))
+    m = CooMat.from_scipy(s)
+    back = m.to_scipy()
+    assert (abs(back - s.tocsr()) > 0).nnz == 0
+
+
+def test_keys_unique_sorted():
+    m = CooMat((4, 5), [0, 1, 3], [4, 0, 2], [[1], [1], [1]])
+    keys = m.keys()
+    assert np.all(np.diff(keys) > 0)
+
+
+def test_csr_indptr():
+    m = CooMat((4, 3), [0, 0, 2], [0, 2, 1], [[1], [2], [3]])
+    assert m.csr_indptr().tolist() == [0, 2, 2, 3, 3]
+
+
+def test_transpose():
+    m = CooMat((2, 3), [0, 1], [2, 0], [[5], [6]])
+    t = m.transpose()
+    assert t.shape == (3, 2)
+    assert (int(t.row[0]), int(t.col[0])) in {(0, 1), (2, 0)}
+    assert t.nnz == 2
+
+
+def test_submatrix_local_coords():
+    m = CooMat((4, 4), [0, 1, 2, 3], [0, 1, 2, 3], [[1], [2], [3], [4]])
+    b = m.submatrix(1, 3, 1, 3)
+    assert b.shape == (2, 2)
+    assert b.row.tolist() == [0, 1]
+    assert b.vals[:, 0].tolist() == [2, 3]
+
+
+def test_select_and_empty():
+    m = CooMat((2, 2), [0, 1], [1, 0], [[7], [8]])
+    s = m.select(np.array([True, False]))
+    assert s.nnz == 1 and s.vals[0, 0] == 7
+    e = CooMat.empty((5, 5), nfields=3)
+    assert e.nnz == 0 and e.nfields == 3
+
+
+def test_multifield_values():
+    m = CooMat((2, 2), [0], [1], [[1, 2, 3]])
+    assert m.nfields == 3
+    assert m.vals.shape == (1, 3)
+
+
+def test_1d_values_promoted():
+    m = CooMat((2, 2), [0, 1], [0, 1], np.array([4, 5]))
+    assert m.vals.shape == (2, 1)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        CooMat((2, 2), [0], [0, 1], [[1], [2]])

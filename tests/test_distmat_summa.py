@@ -1,0 +1,125 @@
+"""Tests for 2D distributed matrices and Sparse SUMMA."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.dsparse.coomat import CooMat
+from repro.dsparse.distmat import DistMat
+from repro.dsparse.semiring import MinPlus, PlusTimes
+from repro.dsparse.spgemm import spgemm_esc
+from repro.dsparse.summa import summa
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm
+
+
+def _rand_dist(rng, shape, density, grid):
+    s = sp.random(*shape, density=density, format="coo", random_state=rng,
+                  data_rvs=lambda n: rng.integers(1, 50, n))
+    return DistMat.from_coo(shape, grid, s.row, s.col, s.data), \
+        CooMat.from_scipy(s)
+
+
+def test_from_coo_to_global_roundtrip():
+    rng = np.random.default_rng(0)
+    grid = ProcessGrid2D(4)
+    D, G = _rand_dist(rng, (23, 17), 0.15, grid)
+    back = D.to_global()
+    assert np.array_equal(back.row, G.row)
+    assert np.array_equal(back.col, G.col)
+    assert np.array_equal(back.vals, G.vals)
+
+
+def test_blocks_cover_dimensions():
+    grid = ProcessGrid2D(9)
+    D = DistMat.empty((10, 7), grid)
+    assert sum(D.blocks[i][0].shape[0] for i in range(3)) == 10
+    assert sum(D.blocks[0][j].shape[1] for j in range(3)) == 7
+
+
+def test_transpose_matches_global_transpose():
+    rng = np.random.default_rng(1)
+    grid = ProcessGrid2D(4)
+    D, G = _rand_dist(rng, (15, 21), 0.2, grid)
+    T = D.transpose().to_global()
+    GT = G.transpose()
+    assert np.array_equal(T.row, GT.row)
+    assert np.array_equal(T.col, GT.col)
+
+
+def test_nnz_and_copy_independent():
+    rng = np.random.default_rng(2)
+    grid = ProcessGrid2D(1)
+    D, G = _rand_dist(rng, (10, 10), 0.2, grid)
+    D2 = D.copy()
+    D2.blocks[0][0].vals[:] = 0
+    assert D.to_global().vals.sum() == G.vals.sum()
+    assert D.nnz() == G.nnz
+
+
+@pytest.mark.parametrize("P", [1, 4, 9])
+def test_summa_matches_local_spgemm(P):
+    rng = np.random.default_rng(P)
+    grid = ProcessGrid2D(P)
+    comm = SimComm(P, CommTracker(P))
+    A, GA = _rand_dist(rng, (20, 30), 0.15, grid)
+    B, GB = _rand_dist(rng, (30, 12), 0.15, grid)
+    C = summa(A, B, PlusTimes(), comm, stage="t")
+    expect = spgemm_esc(GA, GB, PlusTimes())
+    got = C.to_global()
+    assert np.array_equal(got.row, expect.row)
+    assert np.array_equal(got.col, expect.col)
+    assert np.array_equal(got.vals, expect.vals)
+
+
+def test_summa_minplus_matches_local():
+    rng = np.random.default_rng(7)
+    grid = ProcessGrid2D(4)
+    comm = SimComm(4, CommTracker(4))
+    A, GA = _rand_dist(rng, (25, 25), 0.1, grid)
+    C = summa(A, A, MinPlus(), comm, stage="t")
+    expect = spgemm_esc(GA, GA, MinPlus())
+    got = C.to_global()
+    assert np.array_equal(got.row, expect.row)
+    assert np.array_equal(got.vals, expect.vals)
+
+
+def test_summa_charges_sqrtP_messages_per_rank():
+    """Latency per rank is 2(√P−1) broadcasts' worth at the roots; the max
+    per-rank message count over the whole product is O(√P) (Table I)."""
+    rng = np.random.default_rng(3)
+    P = 16
+    grid = ProcessGrid2D(P)
+    tracker = CommTracker(P)
+    comm = SimComm(P, tracker)
+    A, _ = _rand_dist(rng, (64, 64), 0.2, grid)
+    summa(A, A, PlusTimes(), comm, stage="sp")
+    rec = tracker.records["sp"]
+    q = 4
+    # Each rank is a row-bcast root q times... no: over all k stages, rank
+    # (i, j) roots the row broadcast when k == j and the col broadcast when
+    # k == i — each costs q-1 messages, so max messages per rank = 2(q-1).
+    assert rec.max_messages == 2 * (q - 1)
+
+
+def test_summa_grid_mismatch():
+    gridA = ProcessGrid2D(4)
+    gridB = ProcessGrid2D(9)
+    A = DistMat.empty((8, 8), gridA)
+    B = DistMat.empty((8, 8), gridB)
+    comm = SimComm(4, CommTracker(4))
+    with pytest.raises(ValueError):
+        summa(A, B, PlusTimes(), comm, stage="t")
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2 ** 31))
+def test_property_summa_equals_scipy(seed):
+    rng = np.random.default_rng(seed)
+    grid = ProcessGrid2D(4)
+    comm = SimComm(4, CommTracker(4))
+    A, GA = _rand_dist(rng, (18, 22), 0.12, grid)
+    B, GB = _rand_dist(rng, (22, 16), 0.12, grid)
+    C = summa(A, B, PlusTimes(), comm, stage="t").to_global()
+    expect = (GA.to_scipy().tocsr() @ GB.to_scipy().tocsr())
+    assert (abs(C.to_scipy().tocsr() - expect) > 1e-9).nnz == 0

@@ -1,0 +1,79 @@
+"""Unit tests for FASTA I/O and the parallel-I/O record partitioning."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.seqs.dna import decode, encode
+from repro.seqs.fasta import (ReadSet, chunked_read_ranges, read_fasta,
+                              write_fasta)
+
+
+def _toy_reads():
+    return ReadSet(["r0", "r1", "r2"],
+                   [encode("ACGTACGTAA"), encode("TTTTGGGGCCCCAAAA"),
+                    encode("ACGT")])
+
+
+def test_write_read_roundtrip(tmp_path):
+    reads = _toy_reads()
+    path = tmp_path / "toy.fa"
+    write_fasta(path, reads, width=7)  # exercise wrapping
+    back = read_fasta(path)
+    assert back.names == reads.names
+    for a, b in zip(back.seqs, reads.seqs):
+        assert np.array_equal(a, b)
+
+
+def test_read_fasta_from_handle():
+    text = ">a desc ignored\nACGT\nACGT\n>b\nTTT\n"
+    rs = read_fasta(io.StringIO(text))
+    assert rs.names == ["a", "b"]
+    assert decode(rs.seqs[0]) == "ACGTACGT"
+    assert decode(rs.seqs[1]) == "TTT"
+
+
+def test_read_fasta_blank_lines_and_case():
+    rs = read_fasta(io.StringIO(">x\n\nacgt\n\nACGT\n"))
+    assert decode(rs.seqs[0]) == "ACGTACGT"
+
+
+def test_readset_helpers():
+    reads = _toy_reads()
+    assert len(reads) == 3
+    assert reads.total_bases() == 10 + 16 + 4
+    assert np.array_equal(reads.lengths, [10, 16, 4])
+    sub = reads.subset(np.array([2, 0]))
+    assert sub.names == ["r2", "r0"]
+
+
+def test_readset_validation():
+    with pytest.raises(ValueError):
+        ReadSet(["a"], [])
+
+
+def test_chunked_read_ranges_cover_all_records():
+    starts = np.array([0, 100, 220, 300, 480, 600])
+    ranges = chunked_read_ranges(starts, file_size=700, nprocs=4)
+    covered = []
+    for lo, hi in ranges:
+        covered.extend(range(lo, hi))
+    assert covered == list(range(6))
+
+
+def test_chunked_read_ranges_record_owned_by_chunk_containing_start():
+    # Chunk boundaries at 0, 175, 350, 525, 700 for P=4.
+    starts = np.array([0, 100, 220, 300, 480, 600])
+    ranges = chunked_read_ranges(starts, file_size=700, nprocs=4)
+    assert ranges[0] == (0, 2)   # starts 0, 100 < 175
+    assert ranges[1] == (2, 4)   # 220, 300 < 350
+    assert ranges[2] == (4, 5)   # 480 < 525
+    assert ranges[3] == (5, 6)   # 600
+
+
+def test_chunked_read_ranges_more_procs_than_records():
+    starts = np.array([0, 50])
+    ranges = chunked_read_ranges(starts, file_size=100, nprocs=8)
+    total = sum(hi - lo for lo, hi in ranges)
+    assert total == 2

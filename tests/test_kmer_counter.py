@@ -1,0 +1,116 @@
+"""Tests for the two-pass distributed k-mer counter."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import CommTracker, SimComm, StageTimer
+from repro.seqs.dna import encode
+from repro.seqs.fasta import ReadSet
+from repro.seqs.kmer_counter import (count_kmers, reliable_upper_bound)
+from repro.seqs.kmers import read_kmers
+
+
+def _exact_counts(reads, k):
+    """Reference: exact canonical k-mer multiplicities."""
+    from collections import Counter
+    counts: Counter = Counter()
+    for i in range(len(reads)):
+        km, _ = read_kmers(reads[i], k)
+        counts.update(km.tolist())
+    return counts
+
+
+def _counts_match(reads, k, P, lower=2, upper=10):
+    comm = SimComm(P, CommTracker(P))
+    table = count_kmers(reads, k, comm, StageTimer(), lower=lower,
+                        upper=upper)
+    exact = _exact_counts(reads, k)
+    expected = {km: c for km, c in exact.items() if lower <= c <= upper}
+    got = dict(zip(table.kmers.tolist(), table.counts.tolist()))
+    return expected, got
+
+
+@pytest.mark.parametrize("P", [1, 2, 4])
+def test_counts_exact_vs_reference(clean_dataset, P):
+    _genome, reads, _layout = clean_dataset
+    sub = reads.subset(np.arange(30))
+    expected, got = _counts_match(sub, 17, P)
+    assert got == expected
+
+
+def test_singletons_eliminated():
+    # Two identical reads plus one unique read: the unique read's k-mers are
+    # singletons (modulo chance collisions) and must not appear.
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 4, 100).astype(np.uint8)
+    b = rng.integers(0, 4, 100).astype(np.uint8)
+    reads = ReadSet(["a1", "a2", "b"], [a.copy(), a.copy(), b])
+    comm = SimComm(2, CommTracker(2))
+    table = count_kmers(reads, 21, comm, StageTimer(), upper=50)
+    assert (table.counts >= 2).all()
+    # All reliable k-mers come from the duplicated read.
+    km_a, _ = read_kmers(a, 21)
+    assert set(table.kmers.tolist()) <= set(km_a.tolist())
+
+
+def test_high_frequency_kmers_dropped():
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 4, 60).astype(np.uint8)
+    reads = ReadSet([f"r{i}" for i in range(20)], [a.copy() for _ in range(20)])
+    comm = SimComm(1, CommTracker(1))
+    table = count_kmers(reads, 21, comm, StageTimer(), upper=10)
+    assert len(table) == 0  # every k-mer occurs 20 > 10 times
+
+
+def test_lookup():
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, 4, 80).astype(np.uint8)
+    reads = ReadSet(["x", "y"], [a.copy(), a.copy()])
+    comm = SimComm(1, CommTracker(1))
+    table = count_kmers(reads, 15, comm, StageTimer(), upper=50)
+    km, _ = read_kmers(a, 15)
+    ids = table.lookup(km)
+    assert (ids >= 0).all()
+    missing = table.lookup(np.array([np.uint64(2**61 - 1)]))
+    assert missing[0] == -1
+
+
+def test_batches_increase_latency_not_volume(clean_dataset):
+    _genome, reads, _layout = clean_dataset
+    sub = reads.subset(np.arange(40))
+    vols, msgs = [], []
+    for b in (1, 3):
+        tracker = CommTracker(4)
+        comm = SimComm(4, tracker)
+        count_kmers(sub, 17, comm, StageTimer(), batches=b, upper=40)
+        rec = tracker.records["CountKmer"]
+        vols.append(rec.total_bytes)
+        msgs.append(rec.total_messages)
+    assert vols[0] == pytest.approx(vols[1], rel=0.01)
+    assert msgs[1] > msgs[0]
+
+
+def test_p_invariance(clean_dataset):
+    _genome, reads, _layout = clean_dataset
+    sub = reads.subset(np.arange(40))
+    tables = []
+    for P in (1, 3, 5):
+        comm = SimComm(P, CommTracker(P))
+        t = count_kmers(sub, 17, comm, StageTimer(), upper=40)
+        tables.append(dict(zip(t.kmers.tolist(), t.counts.tolist())))
+    assert tables[0] == tables[1] == tables[2]
+
+
+def test_reliable_upper_bound_matches_paper_regime():
+    """With the paper's CLR parameters (k=17, 15% error, depth 10) the BELLA
+    model lands at a small cutoff — the paper used max frequency 4."""
+    assert reliable_upper_bound(10, 0.15, 17) == 4
+    # Higher depth / lower error raises the ceiling.
+    assert reliable_upper_bound(40, 0.13, 17) > 4
+
+
+def test_empty_reads():
+    reads = ReadSet(["e"], [encode("ACG")])  # shorter than k
+    comm = SimComm(1, CommTracker(1))
+    table = count_kmers(reads, 17, comm, StageTimer())
+    assert len(table) == 0

@@ -1,0 +1,78 @@
+"""Property-based tests: transitive reduction on random bidirected graphs.
+
+Hypothesis generates random symmetric bidirected overlap graphs (arbitrary
+suffixes and end attachments); the distributed matrix reduction must
+
+* always match Myers' sequential reduction (the correctness oracle),
+* never create edges,
+* be idempotent (a second run removes nothing),
+* and be invariant to the process-grid size.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.myers import myers_transitive_reduction
+from repro.core.string_graph import StringGraph
+from repro.core.transitive_reduction import transitive_reduction
+from repro.dsparse.distmat import DistMat
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm
+
+
+@st.composite
+def bidirected_graphs(draw):
+    """Random symmetric bidirected graph on up to 12 vertices."""
+    n = draw(st.integers(3, 12))
+    n_overlaps = draw(st.integers(0, 2 * n))
+    edges = {}
+    for _ in range(n_overlaps):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i == j or (i, j) in edges or (j, i) in edges:
+            continue
+        sij = draw(st.integers(1, 60))
+        sji = draw(st.integers(1, 60))
+        ei = draw(st.integers(0, 1))
+        ej = draw(st.integers(0, 1))
+        edges[(i, j)] = (sij, ei, ej)
+        edges[(j, i)] = (sji, ej, ei)
+    if not edges:
+        return StringGraph(n, *(np.empty(0, np.int64) for _ in range(5)))
+    src = np.array([k[0] for k in edges], dtype=np.int64)
+    dst = np.array([k[1] for k in edges], dtype=np.int64)
+    suf = np.array([v[0] for v in edges.values()], dtype=np.int64)
+    es = np.array([v[1] for v in edges.values()], dtype=np.int64)
+    ed = np.array([v[2] for v in edges.values()], dtype=np.int64)
+    return StringGraph(n, src, dst, suf, es, ed)
+
+
+def _reduce(graph: StringGraph, P: int, fuzz: int) -> set:
+    mat = graph.to_coomat()
+    D = DistMat.from_coo(mat.shape, ProcessGrid2D(P), mat.row, mat.col,
+                         mat.vals)
+    res = transitive_reduction(D, SimComm(P, CommTracker(P)), fuzz=fuzz)
+    return StringGraph.from_coomat(res.S.to_global()).edge_set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(bidirected_graphs(), st.integers(0, 30))
+def test_matches_myers_oracle(graph, fuzz):
+    ours = _reduce(graph, 1, fuzz)
+    oracle = myers_transitive_reduction(graph, fuzz=fuzz).edge_set()
+    assert ours == oracle
+
+
+@settings(max_examples=25, deadline=None)
+@given(bidirected_graphs(), st.integers(0, 30))
+def test_never_creates_edges_and_idempotent(graph, fuzz):
+    once = _reduce(graph, 1, fuzz)
+    assert once <= graph.edge_set()
+    reduced_graph = graph.subgraph_without(graph.edge_set() - once)
+    twice = _reduce(reduced_graph, 1, fuzz)
+    assert twice == once
+
+
+@settings(max_examples=15, deadline=None)
+@given(bidirected_graphs(), st.integers(0, 30))
+def test_grid_invariance(graph, fuzz):
+    assert _reduce(graph, 1, fuzz) == _reduce(graph, 4, fuzz)

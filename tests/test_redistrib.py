@@ -1,0 +1,85 @@
+"""Tests for 1D block-row <-> 2D grid redistribution."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dsparse.coomat import CooMat
+from repro.dsparse.distmat import DistMat
+from repro.dsparse.redistrib import to_2d_grid, to_block_rows
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, block_bounds
+
+
+def _random_parts(rng, shape, P, density=0.15, nfields=2):
+    """Random global matrix split into P block-row CooMat pieces."""
+    s = sp.random(*shape, density=density, format="coo", random_state=rng,
+                  data_rvs=lambda n: rng.integers(1, 40, n))
+    vals = np.stack([s.data.astype(np.int64),
+                     rng.integers(0, 5, s.nnz)], axis=1)[:, :nfields]
+    G = CooMat(shape, s.row.astype(np.int64), s.col.astype(np.int64), vals)
+    bounds = block_bounds(shape[0], P)
+    parts = []
+    for p in range(P):
+        m = (G.row >= bounds[p]) & (G.row < bounds[p + 1])
+        parts.append(CooMat((int(bounds[p + 1] - bounds[p]), shape[1]),
+                            G.row[m] - bounds[p], G.col[m], G.vals[m],
+                            checked=True))
+    return G, parts
+
+
+def test_to_2d_roundtrip_values():
+    rng = np.random.default_rng(0)
+    P = 4
+    shape = (22, 17)
+    G, parts = _random_parts(rng, shape, P)
+    comm = SimComm(P, CommTracker(P))
+    D = to_2d_grid(parts, shape, ProcessGrid2D(P), comm)
+    back = D.to_global()
+    assert np.array_equal(back.row, G.row)
+    assert np.array_equal(back.col, G.col)
+    assert np.array_equal(back.vals, G.vals)
+
+
+def test_to_block_rows_roundtrip():
+    rng = np.random.default_rng(1)
+    P = 4
+    shape = (20, 20)
+    G, parts = _random_parts(rng, shape, P)
+    comm = SimComm(P, CommTracker(P))
+    D = to_2d_grid(parts, shape, ProcessGrid2D(P), comm)
+    back_parts = to_block_rows(D, comm)
+    assert len(back_parts) == P
+    for orig, back in zip(parts, back_parts):
+        assert np.array_equal(orig.row, back.row)
+        assert np.array_equal(orig.col, back.col)
+        assert np.array_equal(orig.vals, back.vals)
+
+
+def test_redistribution_charges_traffic():
+    rng = np.random.default_rng(2)
+    P = 4
+    G, parts = _random_parts(rng, (40, 40), P)
+    tracker = CommTracker(P)
+    comm = SimComm(P, tracker)
+    to_2d_grid(parts, (40, 40), ProcessGrid2D(P), comm, stage="redist")
+    rec = tracker.records["redist"]
+    assert rec.total_bytes > 0
+    assert rec.total_messages > 0
+
+
+def test_empty_matrix():
+    P = 4
+    bounds = block_bounds(10, P)
+    parts = [CooMat.empty((int(bounds[p + 1] - bounds[p]), 10), 1)
+             for p in range(P)]
+    comm = SimComm(P, CommTracker(P))
+    D = to_2d_grid(parts, (10, 10), ProcessGrid2D(P), comm)
+    assert D.nnz() == 0
+    back = to_block_rows(D, comm)
+    assert all(b.nnz == 0 for b in back)
+
+
+def test_part_count_validation():
+    comm = SimComm(4, CommTracker(4))
+    with pytest.raises(ValueError):
+        to_2d_grid([CooMat.empty((5, 5))], (5, 5), ProcessGrid2D(4), comm)

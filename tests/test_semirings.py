@@ -1,0 +1,112 @@
+"""Tests for the paper's custom semirings (positions and MinPlus)."""
+
+import numpy as np
+
+from repro.core.semirings import (BidirectedMinPlus, PositionsSemiring,
+                                  C_COUNT, C_PA1, C_PA2, C_PB1, C_PB2,
+                                  C_STRAND1, n_slot)
+from repro.dsparse.coomat import CooMat
+from repro.dsparse.semiring import INF
+from repro.dsparse.spgemm import spgemm_esc
+
+
+def test_positions_multiply_strand_xor():
+    sr = PositionsSemiring()
+    avals = np.array([[5, 0], [9, 1]], dtype=np.int64)
+    bvals = np.array([[7, 1], [2, 1]], dtype=np.int64)
+    out, mask = sr.multiply(avals, bvals)
+    assert mask is None
+    assert out[0, C_COUNT] == 1
+    assert out[0, C_PA1] == 5 and out[0, C_PB1] == 7
+    assert out[0, C_STRAND1] == 1      # 0 xor 1
+    assert out[1, C_STRAND1] == 0      # 1 xor 1
+    assert out[0, C_PA2] == -1          # second seed empty
+
+
+def test_positions_reduce_counts_and_two_seeds():
+    sr = PositionsSemiring()
+    # One group of three raw products.
+    vals = np.full((3, 7), -1, dtype=np.int64)
+    vals[:, C_COUNT] = 1
+    vals[:, C_PA1] = [10, 20, 30]
+    vals[:, C_PB1] = [11, 21, 31]
+    vals[:, C_STRAND1] = [0, 1, 0]
+    out = sr.reduce(vals, np.array([0]), np.array([3]))
+    assert out[0, C_COUNT] == 3
+    assert out[0, C_PA1] == 10 and out[0, C_PA2] == 20
+    assert out[0, C_PB2] == 21
+
+
+def test_positions_reduce_composable_with_partials():
+    """Merging already-reduced partials (SUMMA stages) keeps counts exact."""
+    sr = PositionsSemiring()
+    partial1 = np.array([[2, 1, 1, 0, 3, 3, 0]], dtype=np.int64)  # 2 kmers
+    partial2 = np.array([[3, 9, 9, 1, -1, -1, -1]], dtype=np.int64)
+    vals = np.vstack([partial1, partial2])
+    out = sr.reduce(vals, np.array([0]), np.array([2]))
+    assert out[0, C_COUNT] == 5
+    assert out[0, C_PA2] == 3  # kept partial1's second seed
+
+
+def test_positions_via_spgemm_counts_common_kmers():
+    """AAᵀ under the positions semiring counts shared k-mers per pair."""
+    # A: 3 reads x 4 kmers; reads 0,1 share kmers 0 and 2.
+    row = [0, 0, 1, 1, 2]
+    col = [0, 2, 0, 2, 3]
+    vals = np.array([[5, 0], [9, 0], [1, 0], [4, 1], [7, 0]], dtype=np.int64)
+    A = CooMat((3, 4), row, col, vals)
+    C = spgemm_esc(A, A.transpose(), PositionsSemiring())
+    at = {(int(r), int(c)): v for r, c, v in zip(C.row, C.col, C.vals)}
+    assert at[(0, 1)][C_COUNT] == 2
+    assert at[(0, 1)][C_PA2] != -1  # both seeds recorded
+    assert (2, 0) not in at and (0, 2) not in at  # no shared k-mers
+
+
+def test_bidirected_minplus_validity_mask():
+    sr = BidirectedMinPlus()
+    # Edge i->k ends (E at k) then k->j (B at k): valid (opposite ends).
+    a = np.array([[10, 1, 1, 0]], dtype=np.int64)
+    b = np.array([[20, 0, 0, 0]], dtype=np.int64)
+    out, mask = sr.multiply(a, b)
+    assert mask[0]
+    assert out[0, n_slot(1, 0)] == 30
+    assert out[0, n_slot(0, 0)] == INF
+    # Same ends at middle: invalid walk.
+    b_bad = np.array([[20, 1, 0, 0]], dtype=np.int64)
+    _, mask = sr.multiply(a, b_bad)
+    assert not mask[0]
+
+
+def test_bidirected_minplus_reduce_per_slot():
+    sr = BidirectedMinPlus()
+    vals = np.array([
+        [INF, 7, INF, INF],
+        [3, INF, INF, INF],
+        [INF, 5, INF, INF],
+    ], dtype=np.int64)
+    out = sr.reduce(vals, np.array([0]), np.array([3]))
+    assert out[0].tolist() == [3, 5, INF, INF]
+
+
+def test_minplus_squaring_three_node_path():
+    """R² over a bidirected 3-path finds the valid two-hop with the right
+    slot and suffix sum."""
+    # Reads 0,1,2 collinear forward: edges (0,1),(1,2) with E->B ends, plus
+    # their reverse direction entries (B->E).
+    rows = [0, 1, 1, 2]
+    cols = [1, 0, 2, 1]
+    vals = np.array([
+        [4, 1, 0, 50],   # 0->1 suffix 4, E at 0, B at 1
+        [6, 0, 1, 50],   # 1->0 suffix 6
+        [3, 1, 0, 50],   # 1->2 suffix 3
+        [5, 0, 1, 50],   # 2->1 suffix 5
+    ], dtype=np.int64)
+    R = CooMat((3, 3), rows, cols, vals)
+    N = spgemm_esc(R, R, BidirectedMinPlus())
+    at = {(int(r), int(c)): v for r, c, v in zip(N.row, N.col, N.vals)}
+    # Valid: 0->1->2 (arrive B at 1, leave E at 1): slot (E at 0, B at 2).
+    assert at[(0, 2)][n_slot(1, 0)] == 7
+    # Reverse: 2->1->0: slot (E at 2... ends: 2->1 has end_2=0? entry
+    # (2,1) ends (0,1): path 2->1->0 arrives at 1 via E(1), leaves via B:
+    # entry (1,0) ends (0,1): valid; slot (0, 1) sum 6+5=11.
+    assert at[(2, 0)][n_slot(0, 1)] == 11

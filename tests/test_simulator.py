@@ -1,0 +1,94 @@
+"""Unit tests for the CLR read simulator and ground-truth layout."""
+
+import numpy as np
+import pytest
+
+from repro.seqs.dna import GenomeSpec, revcomp_codes
+from repro.seqs.simulator import (ErrorModel, ReadSimSpec, TrueLayout,
+                                  _apply_errors, simulate_reads)
+
+
+def test_error_model_validation():
+    with pytest.raises(ValueError):
+        ErrorModel(rate=1.5)
+    with pytest.raises(ValueError):
+        ErrorModel(rate=0.1, sub_frac=0.5, ins_frac=0.5, del_frac=0.5)
+
+
+def test_zero_error_reads_match_genome():
+    spec = ReadSimSpec(GenomeSpec(length=5000, seed=0), depth=5,
+                       mean_len=500, min_len=200,
+                       error=ErrorModel(rate=0.0), seed=1)
+    genome, reads, layout = simulate_reads(spec)
+    for i in range(len(reads)):
+        clean = genome[layout.start[i]:layout.end[i]]
+        if layout.strand[i]:
+            clean = revcomp_codes(clean)
+        assert np.array_equal(reads[i], clean)
+
+
+def test_depth_reached():
+    spec = ReadSimSpec(GenomeSpec(length=10_000, seed=0), depth=8,
+                       mean_len=600, seed=2)
+    genome, reads, layout = simulate_reads(spec)
+    # Sampled *clean* interval lengths hit the depth target.
+    sampled = int((layout.end - layout.start).sum())
+    assert sampled >= 8 * 10_000
+
+
+def test_both_strands_sampled():
+    spec = ReadSimSpec(GenomeSpec(length=10_000, seed=0), depth=10, seed=3)
+    _genome, _reads, layout = simulate_reads(spec)
+    assert 0 < layout.strand.mean() < 1
+
+
+def test_apply_errors_rate_scales_length_change():
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 4, size=20_000, dtype=np.uint8)
+    model = ErrorModel(rate=0.2, sub_frac=0.0, ins_frac=1.0, del_frac=0.0)
+    out = _apply_errors(codes, model, np.random.default_rng(1))
+    # Pure insertions: expected +20% length.
+    assert out.shape[0] == pytest.approx(24_000, rel=0.05)
+    model = ErrorModel(rate=0.2, sub_frac=0.0, ins_frac=0.0, del_frac=1.0)
+    out = _apply_errors(codes, model, np.random.default_rng(2))
+    assert out.shape[0] == pytest.approx(16_000, rel=0.05)
+
+
+def test_apply_errors_substitutions_change_bases_only():
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 4, size=10_000, dtype=np.uint8)
+    model = ErrorModel(rate=0.1, sub_frac=1.0, ins_frac=0.0, del_frac=0.0)
+    out = _apply_errors(codes, model, np.random.default_rng(3))
+    assert out.shape[0] == codes.shape[0]
+    diff = (out != codes).mean()
+    assert diff == pytest.approx(0.1, rel=0.15)
+
+
+def test_apply_errors_zero_rate_is_identity():
+    codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+    out = _apply_errors(codes, ErrorModel(rate=0.0),
+                        np.random.default_rng(0))
+    assert np.array_equal(out, codes)
+
+
+def test_true_overlap():
+    layout = TrueLayout(np.array([0, 50, 200]), np.array([100, 180, 300]),
+                        np.array([0, 0, 0]))
+    assert layout.true_overlap(0, 1) == 50
+    assert layout.true_overlap(0, 2) == 0
+
+
+def test_overlap_pairs_sweep_matches_bruteforce():
+    rng = np.random.default_rng(4)
+    starts = rng.integers(0, 1000, size=60)
+    lengths = rng.integers(50, 300, size=60)
+    layout = TrueLayout(starts.astype(np.int64),
+                        (starts + lengths).astype(np.int64),
+                        np.zeros(60, dtype=np.int64))
+    got = layout.overlap_pairs(min_overlap=40)
+    expect = set()
+    for i in range(60):
+        for j in range(i + 1, 60):
+            if layout.true_overlap(i, j) >= 40:
+                expect.add((i, j))
+    assert got == expect
