@@ -35,6 +35,15 @@ def test_spgemm_esc_plustimes(benchmark):
     assert out.nnz > 0
 
 
+def test_spgemm_scipy_backend_plustimes(benchmark):
+    """Same product as the ESC entry above, on the CSR-lowering backend."""
+    from repro.dsparse.backend import get_backend
+    bk = get_backend("scipy")
+    A = _rand_coo(0, 2000, 0.005)
+    out = benchmark(lambda: bk.spgemm(A, A, PlusTimes()))
+    assert out.nnz > 0
+
+
 def test_spgemm_gustavson_plustimes(benchmark):
     A = _rand_coo(0, 400, 0.01)
     out = benchmark(lambda: spgemm_gustavson(A, A, PlusTimes()))

@@ -30,6 +30,8 @@ from ..align.xdrop import Scoring
 from ..core.overlap import AlignmentFilter, _align_one
 from ..core.semirings import C_PA1, C_PB1, C_STRAND1
 from ..align.overlapper import classify_overlap
+from ..dsparse.backend import Backend, get_backend
+from ..dsparse.coomat import CooMat
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import block_bounds
 from ..mpisim.tracker import CommTracker, StageTimer
@@ -74,10 +76,16 @@ def run_dibella1d(reads: ReadSet, k: int = 17, nprocs: int = 1, *,
                   align_mode: str = "xdrop", scoring: Scoring | None = None,
                   filt: AlignmentFilter | None = None, fuzz: int = 100,
                   depth_hint: float = 30.0, error_hint: float = 0.15,
-                  kmer_upper: int | None = None) -> Dibella1DResult:
-    """Run the 1D overlap-detection pipeline (Fig. 9's comparator)."""
+                  kmer_upper: int | None = None,
+                  backend: Backend | str | None = None) -> Dibella1DResult:
+    """Run the 1D overlap-detection pipeline (Fig. 9's comparator).
+
+    ``backend`` selects the local sparse kernels used for each owner's
+    outer product (the expansion primitive shared with the 2D SpGEMM).
+    """
     scoring = scoring if scoring is not None else Scoring()
     filt = filt if filt is not None else AlignmentFilter()
+    backend = get_backend(backend)
     tracker = CommTracker(nprocs)
     comm = SimComm(nprocs, tracker)
     timer = StageTimer()
@@ -129,46 +137,46 @@ def run_dibella1d(reads: ReadSet, k: int = 17, nprocs: int = 1, *,
     else:
         cols = rds = poss = flips = np.empty(0, np.int64)
 
-    # Local outer product at each owner: all read pairs sharing a k-mer,
-    # vectorized with the same expand trick as the ESC SpGEMM.  This
-    # generates the a²m/P duplicated candidates that must be reduced.
-    pair_send: list[list[np.ndarray]] = [[_pack_pairs([]) for _ in range(P)]
+    # Local outer product at each owner: all read pairs sharing a k-mer.
+    # Each owner's postings form a reads × k-mers block A_q, and the pairs
+    # are the expansion half of the semiring SpGEMM A_q·A_qᵀ — the same
+    # backend kernel the 2D pipeline multiplies with, but *without* the
+    # compress step: every per-k-mer duplicate ships, which is exactly the
+    # 1D algorithm's a²m/P candidate volume that must then be reduced.
+    empty_payload = np.empty((0, 5), dtype=np.int64)
+    pair_send: list[list[np.ndarray]] = [[empty_payload for _ in range(P)]
                                          for _ in range(P)]
+    m = len(table)
     with timer.superstep(stage) as step:
         for q in range(P):
             with step.rank(q):
                 mine = owner[cols] == q
                 if not mine.any():
                     continue
-                c, r, po, fl = cols[mine], rds[mine], poss[mine], flips[mine]
-                order = np.lexsort((r, c))
-                c, r, po, fl = c[order], r[order], po[order], fl[order]
-                # Group boundaries per k-mer.
-                new = np.ones(c.shape[0], dtype=bool)
-                new[1:] = c[1:] != c[:-1]
-                starts = np.flatnonzero(new)
-                g = np.diff(np.append(starts, c.shape[0]))
-                # All ordered intra-group index pairs (i1 < i2 positionally).
-                idx = np.arange(c.shape[0], dtype=np.int64)
-                local = idx - np.repeat(starts, g)
-                later = np.repeat(g, g) - 1 - local  # partners after elem
-                i1 = np.repeat(idx, later)
-                seg0 = np.cumsum(later) - later
-                within = np.arange(int(later.sum()), dtype=np.int64) - \
-                    np.repeat(seg0, later)
-                i2 = np.repeat(idx + 1, later) + within
-                ri, rj = r[i1], r[i2]
-                keep = ri != rj
+                Aq = CooMat((n, m), rds[mine], cols[mine],
+                            np.stack([poss[mine], flips[mine]], axis=1))
+                Atq = backend.transpose(Aq)
+                a_idx, b_idx = backend.expand(Aq, Atq)
+                if a_idx.shape[0] == 0:
+                    continue
+                ri = Aq.row[a_idx]
+                rj = Atq.col[b_idx]
+                # The product is symmetric; keep each unordered pair once
+                # per shared k-mer (ri < rj also drops the diagonal).
+                # Expanding both triangles and filtering matches the 2D
+                # path's cost structure (candidate_overlaps also computes
+                # the full A·Aᵀ before its upper-triangle filter), keeping
+                # the Fig. 9 compute comparison like-for-like.
+                keep = ri < rj
+                if not keep.any():
+                    continue
+                a_idx, b_idx = a_idx[keep], b_idx[keep]
                 ri, rj = ri[keep], rj[keep]
-                pi, pj = po[i1][keep], po[i2][keep]
-                st = (fl[i1] ^ fl[i2])[keep]
-                swap = ri > rj
-                ri2 = np.where(swap, rj, ri)
-                rj2 = np.where(swap, ri, rj)
-                pi2 = np.where(swap, pj, pi)
-                pj2 = np.where(swap, pi, pj)
-                dest = np.searchsorted(read_bounds, ri2, side="right") - 1
-                payload = np.stack([ri2, rj2, pi2, pj2, st], axis=1)
+                pi = Aq.vals[a_idx, 0]
+                pj = Atq.vals[b_idx, 0]
+                st = Aq.vals[a_idx, 1] ^ Atq.vals[b_idx, 1]
+                dest = np.searchsorted(read_bounds, ri, side="right") - 1
+                payload = np.stack([ri, rj, pi, pj, st], axis=1)
                 for d in range(P):
                     sel = dest == d
                     if sel.any():
@@ -235,10 +243,3 @@ def run_dibella1d(reads: ReadSet, k: int = 17, nprocs: int = 1, *,
     return Dibella1DResult(n_reads=n, n_kmers=len(table),
                            n_candidate_pairs=n_pairs, n_overlaps=n_overlaps,
                            timer=timer, tracker=tracker)
-
-
-def _pack_pairs(pairs: list[tuple]) -> np.ndarray:
-    """Pack candidate tuples into an int64 array for byte accounting."""
-    if not pairs:
-        return np.empty((0, 5), dtype=np.int64)
-    return np.array(pairs, dtype=np.int64)

@@ -19,6 +19,7 @@ import sys
 
 from .core.contigs import extract_contigs
 from .core.pipeline import PipelineConfig, run_pipeline_from_fasta
+from .dsparse.backend import available_backends
 from .mpisim.machine import MACHINES
 from .seqs.dna import GenomeSpec
 from .seqs.fasta import write_fasta
@@ -56,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--depth-hint", type=float, default=20.0)
         p.add_argument("--error-hint", type=float, default=0.1)
         p.add_argument("--machine", choices=sorted(MACHINES), default="cori")
+        p.add_argument("--backend", choices=available_backends(),
+                       default="auto",
+                       help="local sparse-kernel backend: 'auto' lowers "
+                            "scalar semirings to scipy CSR kernels and "
+                            "runs multi-field semirings on the numpy ESC "
+                            "reference (results are backend-independent)")
 
     asm = sub.add_parser("assemble", help="run the pipeline, write contigs")
     add_pipeline_args(asm)
@@ -86,7 +93,8 @@ def _run(args):
     cfg = PipelineConfig(k=args.k, nprocs=args.nprocs,
                          align_mode=args.align_mode, fuzz=args.fuzz,
                          depth_hint=args.depth_hint,
-                         error_hint=args.error_hint)
+                         error_hint=args.error_hint,
+                         backend=args.backend)
     return run_pipeline_from_fasta(args.reads, cfg)
 
 

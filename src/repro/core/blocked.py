@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..align.xdrop import Scoring
+from ..dsparse.backend import Backend, get_backend
 from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
 from ..dsparse.summa import summa
@@ -101,17 +102,20 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
                                mode: str = "chain",
                                scoring: Scoring | None = None,
                                filt: AlignmentFilter | None = None,
-                               fuzz: int = 100) -> BlockedOverlapResult:
+                               fuzz: int = 100,
+                               backend: Backend | str | None = None
+                               ) -> BlockedOverlapResult:
     """Strip-mined ``C = A·Aᵀ`` with per-strip alignment and pruning.
 
     Parameters mirror :func:`~repro.core.overlap.candidate_overlaps` +
     :func:`~repro.core.overlap.align_candidates`; ``n_strips`` controls the
     peak-memory / latency trade-off (each strip is one Sparse SUMMA over a
-    narrower ``Aᵀ``).
+    narrower ``Aᵀ``); ``backend`` selects the local kernels.
     """
     timer = timer if timer is not None else StageTimer()
+    backend = get_backend(backend)
     n = A.shape[0]
-    At = A.transpose()
+    At = A.transpose(backend=backend)
     strips = block_bounds(n, n_strips)
 
     nnz_c = 0
@@ -123,7 +127,7 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
             continue
         At_strip = _column_strip(At, lo, hi)
         C_strip = summa(A, At_strip, PositionsSemiring(), comm,
-                        "SpGEMM", timer)
+                        "SpGEMM", timer, backend=backend)
         # Keep the strict upper triangle in *global* coordinates.
         q = C_strip.grid.q
         blocks = []
@@ -133,7 +137,7 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
                 b = C_strip.blocks[i][j]
                 gr = b.row + C_strip.row_bounds[i]
                 gc = b.col + C_strip.col_bounds[j] + lo
-                brow.append(b.select(gr < gc))
+                brow.append(backend.select(b, gr < gc))
             blocks.append(brow)
         C_strip = DistMat(C_strip.shape, C_strip.grid, blocks,
                           C_strip.nfields)

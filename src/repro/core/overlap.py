@@ -28,6 +28,7 @@ import numpy as np
 from ..align.overlapper import OverlapClass, classify_overlap
 from ..align.xdrop import AlignmentResult, Scoring, chain_extend, \
     seed_extend_align
+from ..dsparse.backend import Backend, get_backend
 from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
 from ..dsparse.summa import summa
@@ -139,16 +140,20 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
 
 
 def candidate_overlaps(A: DistMat, comm: SimComm,
-                       timer: StageTimer | None = None) -> DistMat:
+                       timer: StageTimer | None = None,
+                       backend: Backend | str | None = None) -> DistMat:
     """``C = A·Aᵀ`` via Sparse SUMMA, upper-triangle only.
 
     The product is symmetric (shared k-mer counts), so only ``i < j`` entries
     are kept for alignment; the symmetric R entries are regenerated after
     alignment.  Diagonal entries (a read with itself) are discarded.
+    ``backend`` selects the local kernels (transpose, SpGEMM, filter).
     """
     timer = timer if timer is not None else StageTimer()
-    At = A.transpose()
-    C = summa(A, At, PositionsSemiring(), comm, "SpGEMM", timer)
+    backend = get_backend(backend)
+    At = A.transpose(backend=backend)
+    C = summa(A, At, PositionsSemiring(), comm, "SpGEMM", timer,
+              backend=backend)
     q = C.grid.q
     rb, cbb = C.row_bounds, C.col_bounds
     blocks = []
@@ -158,7 +163,7 @@ def candidate_overlaps(A: DistMat, comm: SimComm,
             b = C.blocks[i][j]
             gr = b.row + rb[i]
             gc = b.col + cbb[j]
-            brow.append(b.select(gr < gc))
+            brow.append(backend.select(b, gr < gc))
         blocks.append(brow)
     return DistMat(C.shape, C.grid, blocks, C.nfields)
 

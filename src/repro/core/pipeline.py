@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..align.xdrop import Scoring
+from ..dsparse.backend import get_backend
 from ..dsparse.coomat import CooMat
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D
@@ -49,7 +50,11 @@ class PipelineConfig:
     Defaults mirror the paper's settings (k = 17; reliable k-mer ceiling from
     the BELLA model; x-drop alignment).  ``nprocs`` must be a perfect square
     (the 2D grid); ``align_mode='chain'`` switches to the alignment-free
-    coordinate estimate for large runs.
+    coordinate estimate for large runs.  ``backend`` names the local
+    sparse-kernel backend (:func:`repro.dsparse.get_backend`): ``"auto"``
+    routes scalar semirings onto scipy CSR kernels and multi-field
+    semirings onto the numpy ESC reference; results are byte-identical
+    across backends.
     """
 
     k: int = 17
@@ -63,6 +68,7 @@ class PipelineConfig:
     depth_hint: float = 30.0
     error_hint: float = 0.15
     max_tr_rounds: int = 32
+    backend: str = "auto"
 
 
 @dataclass
@@ -139,6 +145,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     parse time it measured to the ``ReadFastq`` stage.
     """
     config = config if config is not None else PipelineConfig()
+    backend = get_backend(config.backend)
     grid = ProcessGrid2D(config.nprocs)
     tracker = CommTracker(config.nprocs)
     comm = SimComm(config.nprocs, tracker)
@@ -159,14 +166,15 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     # counting and SpGEMM (paper Section IV-D); accounting order is
     # equivalent.
     exchange_reads(reads, grid, comm)
-    C = candidate_overlaps(A, comm, timer)
+    C = candidate_overlaps(A, comm, timer, backend=backend)
     nnz_c = C.nnz()
     R = align_candidates(C, reads, config.k, comm, timer,
                          mode=config.align_mode, scoring=config.scoring,
                          filt=config.filt, fuzz=config.fuzz)
     nnz_r = R.nnz()
     tr = transitive_reduction(R, comm, timer, fuzz=config.fuzz,
-                              max_rounds=config.max_tr_rounds)
+                              max_rounds=config.max_tr_rounds,
+                              backend=backend)
     S_global = tr.S.to_global()
     return PipelineResult(
         config=config, n_reads=len(reads), n_kmers=len(table),

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..dsparse.backend import Backend, get_backend
 from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
 from ..dsparse.elementwise import prune_mask, reduce_rows
@@ -107,7 +108,8 @@ def _transitive_mask(R: DistMat, N: DistMat, v: np.ndarray) -> DistMat:
 
 def transitive_reduction(R: DistMat, comm: SimComm,
                          timer: StageTimer | None = None, *,
-                         fuzz: int = 150, max_rounds: int = 32
+                         fuzz: int = 150, max_rounds: int = 32,
+                         backend: Backend | str | None = None
                          ) -> TransitiveReductionResult:
     """Iterated distributed transitive reduction of the overlap matrix.
 
@@ -125,8 +127,13 @@ def transitive_reduction(R: DistMat, comm: SimComm,
         sequencing-error-induced endpoint shifts.
     max_rounds:
         Safety bound on iterations (the paper observes a small constant).
+    backend:
+        Local-kernel backend for the squaring, reduction, and pruning
+        (``N = R²`` is a 4-field MinPlus product, so every backend runs it
+        on the ESC kernel; the seam is still threaded for future kernels).
     """
     timer = timer if timer is not None else StageTimer()
+    backend = get_backend(backend)
     initial = R.nnz()
     rounds = 0
     while rounds < max_rounds:
@@ -134,13 +141,15 @@ def transitive_reduction(R: DistMat, comm: SimComm,
         if prev == 0:
             break
         rounds += 1
-        N = summa(R, R, BidirectedMinPlus(), comm, STAGE, timer)
-        v = reduce_rows(R, R_SUFFIX, np.maximum, 0, comm, STAGE)
+        N = summa(R, R, BidirectedMinPlus(), comm, STAGE, timer,
+                  backend=backend)
+        v = reduce_rows(R, R_SUFFIX, np.maximum, 0, comm, STAGE,
+                        backend=backend)
         v = v + np.int64(fuzz)
         import time as _time
         t0 = _time.perf_counter()
         I = _transitive_mask(R, N, v)
-        R = prune_mask(R, I)
+        R = prune_mask(R, I, backend=backend)
         elapsed = _time.perf_counter() - t0
         with timer.superstep(STAGE) as step:
             # Mask + prune are embarrassingly parallel local block ops (no

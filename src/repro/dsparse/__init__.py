@@ -1,17 +1,29 @@
 """Distributed sparse-matrix substrate (the CombBLAS substitution).
 
 2D block-distributed matrices (:class:`~repro.dsparse.distmat.DistMat`) over
-local COO blocks (:class:`~repro.dsparse.coomat.CooMat`), semiring algebra
-(:mod:`~repro.dsparse.semiring`), vectorized local SpGEMM
+local COO/CSR blocks (:class:`~repro.dsparse.coomat.CooMat`), semiring
+algebra (:mod:`~repro.dsparse.semiring`), vectorized local SpGEMM
 (:mod:`~repro.dsparse.spgemm`), distributed Sparse SUMMA
 (:mod:`~repro.dsparse.summa`) and the element-wise kernels of Algorithm 2
 (:mod:`~repro.dsparse.elementwise`).
+
+Local kernels are pluggable: :mod:`~repro.dsparse.backend` routes every
+block-level operation (SpGEMM, merge, filter, reduction, transpose) through
+a registered :class:`~repro.dsparse.backend.Backend` — ``numpy`` (the ESC
+reference), ``scipy`` (native CSR matmul for scalar semirings), or ``auto``
+(the default per-call dispatch) — mirroring CombBLAS's per-block kernel
+switching that the paper identifies as the runtime-dominating choice.
 """
 
 from .coomat import CooMat
 from .distmat import DistMat
 from .semiring import Semiring, PlusTimes, MinPlus, BoolOr, INF
-from .spgemm import spgemm_esc, spgemm_gustavson, multiway_merge
+from .backend import (
+    Backend, NumpyBackend, ScipyBackend, AutoBackend,
+    get_backend, register_backend, available_backends, DEFAULT_BACKEND,
+)
+from .spgemm import expand_products, spgemm_esc, spgemm_gustavson, \
+    multiway_merge
 from .summa import summa
 from .elementwise import (
     reduce_rows, apply_vector, dimapply_rows, ewise_compare_mask,
@@ -22,7 +34,11 @@ from .redistrib import to_2d_grid, to_block_rows
 __all__ = [
     "CooMat", "DistMat",
     "Semiring", "PlusTimes", "MinPlus", "BoolOr", "INF",
-    "spgemm_esc", "spgemm_gustavson", "multiway_merge", "summa",
+    "Backend", "NumpyBackend", "ScipyBackend", "AutoBackend",
+    "get_backend", "register_backend", "available_backends",
+    "DEFAULT_BACKEND",
+    "expand_products", "spgemm_esc", "spgemm_gustavson", "multiway_merge",
+    "summa",
     "reduce_rows", "apply_vector", "dimapply_rows", "ewise_compare_mask",
     "prune_mask", "apply_entries", "prune_entries",
     "to_2d_grid", "to_block_rows",

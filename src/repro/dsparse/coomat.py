@@ -5,6 +5,14 @@ coordinates plus an ``(nnz, nfields)`` ``int64`` value array (see
 :mod:`repro.dsparse.semiring` for why values are field arrays).  Entries are
 kept in canonical row-major order with unique coordinates, which every kernel
 (SpGEMM, element-wise ops, reductions) relies on.
+
+Because the canonical order *is* CSR order, a ``CooMat`` doubles as CSR
+storage: :meth:`csr_indptr` is computed once and cached, and
+:meth:`to_csr` exposes one value field as a :class:`scipy.sparse.csr_matrix`
+**view** that shares the column-index and (for single-field matrices) value
+arrays with the COO storage — no conversion pass.  The CSR side is what the
+``scipy`` backend (:mod:`repro.dsparse.backend`) lowers scalar semirings
+onto, and what the ESC kernel's expansion step indexes.
 """
 
 from __future__ import annotations
@@ -33,6 +41,10 @@ class CooMat:
             raise ValueError("row/col/vals length mismatch")
         if not checked:
             self._canonicalize()
+        # Lazily-built CSR derivatives (valid because entries are immutable
+        # once canonical): the row pointer and per-field scipy CSR views.
+        self._indptr: np.ndarray | None = None
+        self._csr: dict[int, sp.csr_matrix] = {}
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -81,11 +93,65 @@ class CooMat:
 
     # -- derived forms --------------------------------------------------------
     def csr_indptr(self) -> np.ndarray:
-        """CSR row pointer over the sorted COO data."""
-        counts = np.bincount(self.row, minlength=self.shape[0])
-        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        return indptr
+        """CSR row pointer over the sorted COO data (computed once, cached)."""
+        if self._indptr is None:
+            counts = np.bincount(self.row, minlength=self.shape[0])
+            indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._indptr = indptr
+        return self._indptr
+
+    def to_csr(self, field: int = 0) -> sp.csr_matrix:
+        """One value field as a CSR matrix sharing this matrix's storage.
+
+        The canonical row-major order means ``col`` already *is* the CSR
+        index array; the returned matrix aliases it (and, for single-field
+        matrices, the value column) rather than copying.  Callers must treat
+        the result as read-only.  Built once per field and cached.
+        """
+        csr = self._csr.get(field)
+        if csr is None:
+            data = self.vals[:, field]
+            if not data.flags.c_contiguous:
+                data = np.ascontiguousarray(data)
+            csr = sp.csr_matrix(self.shape, dtype=np.int64)
+            csr.indptr = self.csr_indptr()
+            csr.indices = self.col
+            csr.data = data
+            self._csr[field] = csr
+        return csr
+
+    @classmethod
+    def from_csr(cls, mat: sp.csr_matrix, *, checked: bool = False
+                 ) -> "CooMat":
+        """Build from a duplicate-free CSR matrix without re-sorting.
+
+        CSR with sorted indices is already canonical COO order, so the only
+        work is expanding ``indptr`` back into a row array; the produced
+        matrix inherits the row pointer into its cache.  Duplicate
+        coordinates (legal in raw scipy CSR) are rejected unless
+        ``checked=True`` asserts the input has none — as with the
+        constructor, only for callers that can prove it (scipy matmul /
+        binop / conversion outputs cannot carry duplicates).
+
+        The result takes ownership of ``mat``'s arrays where dtypes allow
+        (no copy) and sorting may happen in place — do not mutate ``mat``
+        or its buffers afterwards.
+        """
+        if not mat.has_sorted_indices:
+            mat.sort_indices()
+        indptr = mat.indptr.astype(np.int64, copy=False)
+        col = mat.indices.astype(np.int64, copy=False)
+        row = np.repeat(np.arange(mat.shape[0], dtype=np.int64),
+                        np.diff(indptr))
+        if not checked and col.shape[0] and \
+                ((row[1:] == row[:-1]) & (col[1:] == col[:-1])).any():
+            raise ValueError("duplicate coordinates; reduce with a semiring "
+                             "first")
+        out = cls(mat.shape, row, col,
+                  mat.data.astype(np.int64, copy=False), checked=True)
+        out._indptr = indptr
+        return out
 
     def transpose(self) -> "CooMat":
         return CooMat((self.shape[1], self.shape[0]), self.col.copy(),

@@ -97,15 +97,20 @@ class DistMat:
                       np.vstack(vals) if vals else np.empty((0, self.nfields)))
 
     # -- structural ops --------------------------------------------------------
-    def transpose(self) -> "DistMat":
+    def transpose(self, backend=None) -> "DistMat":
         """Distributed transpose.
 
         Block ``(i, j)`` becomes block ``(j, i)`` transposed; on a real grid
         this is a pairwise exchange across the diagonal (the paper's
-        ``TRANSPOSE(A)``, Algorithm 1 line 5).
+        ``TRANSPOSE(A)``, Algorithm 1 line 5).  ``backend`` (a
+        :class:`~repro.dsparse.backend.Backend` instance or name) picks the
+        local transpose kernel; ``None`` resolves to the default backend,
+        matching every other backend seam.
         """
+        from .backend import get_backend
+        bk = get_backend(backend)
         q = self.grid.q
-        blocks = [[self.blocks[j][i].transpose() for j in range(q)]
+        blocks = [[bk.transpose(self.blocks[j][i]) for j in range(q)]
                   for i in range(q)]
         return DistMat((self.shape[1], self.shape[0]), self.grid, blocks,
                        self.nfields)

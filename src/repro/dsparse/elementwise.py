@@ -22,6 +22,7 @@ from collections.abc import Callable
 import numpy as np
 
 from ..mpisim.comm import SimComm
+from .backend import Backend, get_backend
 from .coomat import CooMat
 from .distmat import DistMat
 
@@ -38,30 +39,23 @@ __all__ = [
 
 def reduce_rows(A: DistMat, field: int, op_reduceat: Callable,
                 identity: int, comm: SimComm | None = None,
-                stage: str = "Reduce") -> np.ndarray:
+                stage: str = "Reduce",
+                backend: Backend | str | None = None) -> np.ndarray:
     """Row-wise reduction of one value field → global dense vector.
 
     ``op_reduceat`` is a numpy ufunc (e.g. ``np.maximum``) whose ``reduceat``
-    folds each row's local entries; partial per-block-row vectors are then
-    allreduced along each process row (charged to ``stage`` when ``comm`` is
-    given).  Rows with no nonzeros hold ``identity``.
+    folds each row's local entries (via the backend's row-reduction kernel);
+    partial per-block-row vectors are then allreduced along each process row
+    (charged to ``stage`` when ``comm`` is given).  Rows with no nonzeros
+    hold ``identity``.
     """
+    backend = get_backend(backend)
     q = A.grid.q
     out = np.full(A.shape[0], identity, dtype=np.int64)
     for i in range(q):
         r0, r1 = int(A.row_bounds[i]), int(A.row_bounds[i + 1])
-        partials = []
-        for j in range(q):
-            b = A.blocks[i][j]
-            part = np.full(r1 - r0, identity, dtype=np.int64)
-            if b.nnz:
-                # b is row-major sorted; reduceat over row group starts.
-                new_row = np.ones(b.nnz, dtype=bool)
-                new_row[1:] = b.row[1:] != b.row[:-1]
-                starts = np.flatnonzero(new_row)
-                vals = op_reduceat.reduceat(b.vals[:, field], starts)
-                part[b.row[starts]] = vals
-            partials.append(part)
+        partials = [backend.row_reduce(A.blocks[i][j], field, op_reduceat,
+                                       identity) for j in range(q)]
         if comm is not None:
             row_comm = comm.sub(A.grid.row_ranks(i))
             acc = row_comm.allreduce(partials, lambda a, b: op_reduceat(a, b),
@@ -139,7 +133,8 @@ def ewise_compare_mask(M: DistMat, N: DistMat,
     return DistMat(M.shape, M.grid, blocks, 1)
 
 
-def prune_mask(R: DistMat, I: DistMat) -> DistMat:
+def prune_mask(R: DistMat, I: DistMat,
+               backend: Backend | str | None = None) -> DistMat:
     """``R ← R ∘ ¬I``: drop R's entries whose coordinate appears in I.
 
     The paper phrases this as element-wise multiply with the negation, i.e.
@@ -147,6 +142,7 @@ def prune_mask(R: DistMat, I: DistMat) -> DistMat:
     """
     if R.shape != I.shape:
         raise ValueError("shape mismatch")
+    backend = get_backend(backend)
     q = R.grid.q
     blocks = []
     for i in range(q):
@@ -157,7 +153,7 @@ def prune_mask(R: DistMat, I: DistMat) -> DistMat:
                 brow.append(rb)
                 continue
             keep = ~np.isin(rb.keys(), ib.keys(), assume_unique=True)
-            brow.append(rb.select(keep))
+            brow.append(backend.select(rb, keep))
         blocks.append(brow)
     return DistMat(R.shape, R.grid, blocks, R.nfields)
 
@@ -184,9 +180,10 @@ def apply_entries(A: DistMat, f: Callable[[np.ndarray], np.ndarray],
     return DistMat(A.shape, A.grid, blocks, nf)
 
 
-def prune_entries(A: DistMat, keep: Callable[[np.ndarray], np.ndarray]
-                  ) -> DistMat:
+def prune_entries(A: DistMat, keep: Callable[[np.ndarray], np.ndarray],
+                  backend: Backend | str | None = None) -> DistMat:
     """PRUNE: keep nonzeros where ``keep(vals)`` is true (Algorithm 1 line 8)."""
+    backend = get_backend(backend)
     q = A.grid.q
     blocks = []
     for i in range(q):
@@ -196,6 +193,7 @@ def prune_entries(A: DistMat, keep: Callable[[np.ndarray], np.ndarray]
             if b.nnz == 0:
                 brow.append(b)
                 continue
-            brow.append(b.select(np.asarray(keep(b.vals), dtype=bool)))
+            brow.append(backend.select(
+                b, np.asarray(keep(b.vals), dtype=bool)))
         blocks.append(brow)
     return DistMat(A.shape, A.grid, blocks, A.nfields)

@@ -44,6 +44,13 @@ class Semiring:
     #: Number of int64 fields in this semiring's *output* values.
     out_nfields: int = 1
 
+    #: Optional scalar lowering the ``scipy`` backend can execute with native
+    #: CSR arithmetic (:mod:`repro.dsparse.backend`): ``"plus_times"`` or
+    #: ``"bool_or"``.  ``None`` (the default) means the semiring only runs on
+    #: the ESC kernel — multi-field semirings and MinPlus (scipy has no
+    #: tropical product) stay here.
+    lowering: str | None = None
+
     def multiply(self, avals: np.ndarray, bvals: np.ndarray
                  ) -> tuple[np.ndarray, np.ndarray | None]:
         """Elementwise products of aligned A/B value rows.
@@ -73,6 +80,7 @@ class PlusTimes(Semiring):
     """
 
     out_nfields = 1
+    lowering = "plus_times"
 
     def multiply(self, avals, bvals):
         return avals[:, :1] * bvals[:, :1], None
@@ -104,6 +112,7 @@ class BoolOr(Semiring):
     """Boolean (or, and) semiring: structural product (pattern of A·B)."""
 
     out_nfields = 1
+    lowering = "bool_or"
 
     def multiply(self, avals, bvals):
         out = ((avals[:, :1] != 0) & (bvals[:, :1] != 0)).astype(np.int64)

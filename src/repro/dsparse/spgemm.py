@@ -8,11 +8,15 @@ Semiring`:
   semiring's validity check, lexsorted by output coordinate, and folded with
   the semiring's segmented reduce.  No Python-level loop over nonzeros.
 * :func:`spgemm_gustavson` — a dict-accumulator row-by-row reference used to
-  cross-check ESC in tests and in the ablation benchmark
-  (``benchmarks/bench_ablation_spgemm.py``).
+  cross-check ESC in tests and in the kernel micro-benchmarks
+  (``benchmarks/bench_kernels.py``); the semiring-design ablations live in
+  ``benchmarks/bench_ablation_semiring.py`` and the backend ablation in
+  ``benchmarks/bench_ablation_backend.py``.
 
 CombBLAS uses a hybrid hash/heap local multiply inside Sparse SUMMA (paper
 Section IV-D); ESC is the vectorized equivalent appropriate for numpy.
+Kernel *selection* lives one layer up: :mod:`repro.dsparse.backend` routes
+scalar semirings onto native scipy CSR matmul and everything else here.
 """
 
 from __future__ import annotations
@@ -22,14 +26,18 @@ import numpy as np
 from .coomat import CooMat
 from .semiring import Semiring
 
-__all__ = ["spgemm_esc", "spgemm_gustavson", "multiway_merge"]
+__all__ = ["expand_products", "spgemm_esc", "spgemm_gustavson",
+           "multiway_merge"]
 
 
-def _expand(A: CooMat, B: CooMat):
+def expand_products(A: CooMat, B: CooMat):
     """Materialize all elementary products of A's nnz with B's rows.
 
     For each A-nonzero ``(i, k)``, pair it with every B-nonzero in row ``k``.
-    Returns aligned index arrays ``(a_idx, b_idx)`` into A's and B's storage.
+    Returns aligned index arrays ``(a_idx, b_idx)`` into A's and B's storage,
+    ordered by A's canonical entry order (so the implied output rows are
+    non-decreasing).  This is the expansion half of ESC, also reused by the
+    1D baseline's per-owner outer product.
     """
     b_indptr = B.csr_indptr()
     counts = b_indptr[A.col + 1] - b_indptr[A.col]
@@ -50,7 +58,7 @@ def spgemm_esc(A: CooMat, B: CooMat, semiring: Semiring) -> CooMat:
     if A.shape[1] != B.shape[0]:
         raise ValueError(f"inner dimensions differ: {A.shape} x {B.shape}")
     out_shape = (A.shape[0], B.shape[1])
-    a_idx, b_idx = _expand(A, B)
+    a_idx, b_idx = expand_products(A, B)
     if a_idx.shape[0] == 0:
         return CooMat.empty(out_shape, semiring.out_nfields)
     ci = A.row[a_idx]
@@ -60,7 +68,10 @@ def spgemm_esc(A: CooMat, B: CooMat, semiring: Semiring) -> CooMat:
         ci, cj, cvals = ci[mask], cj[mask], cvals[mask]
         if ci.shape[0] == 0:
             return CooMat.empty(out_shape, semiring.out_nfields)
-    order = np.lexsort((cj, ci))
+    # Single packed-key stable sort instead of a two-key lexsort — same
+    # ordering as lexsort((cj, ci)) (keys fit int64, as in CooMat.keys())
+    # at roughly half the sort work.
+    order = np.argsort(ci * np.int64(out_shape[1]) + cj, kind="stable")
     ci, cj, cvals = ci[order], cj[order], cvals[order]
     new_group = np.ones(ci.shape[0], dtype=bool)
     new_group[1:] = (ci[1:] != ci[:-1]) | (cj[1:] != cj[:-1])
@@ -130,7 +141,7 @@ def multiway_merge(parts: list[CooMat], semiring: Semiring,
     rows = np.concatenate([p.row for p in parts])
     cols = np.concatenate([p.col for p in parts])
     vals = np.vstack([p.vals for p in parts])
-    order = np.lexsort((cols, rows))
+    order = np.argsort(rows * np.int64(shape[1]) + cols, kind="stable")
     rows, cols, vals = rows[order], cols[order], vals[order]
     new_group = np.ones(rows.shape[0], dtype=bool)
     new_group[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])

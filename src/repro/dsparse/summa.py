@@ -19,16 +19,17 @@ from __future__ import annotations
 
 from ..mpisim.comm import SimComm
 from ..mpisim.tracker import StageTimer
+from .backend import Backend, get_backend
 from .coomat import CooMat
 from .distmat import DistMat
 from .semiring import Semiring
-from .spgemm import multiway_merge, spgemm_esc
 
 __all__ = ["summa"]
 
 
 def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
-          stage: str, timer: StageTimer | None = None) -> DistMat:
+          stage: str, timer: StageTimer | None = None,
+          backend: Backend | str | None = None) -> DistMat:
     """Distributed ``C = A ⊗ B`` via Sparse SUMMA.
 
     Parameters
@@ -44,6 +45,10 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
         Tracker stage label for all traffic and compute of this product.
     timer:
         Optional stage timer; local multiplies are charged per superstep.
+    backend:
+        Local-kernel backend (name or instance) for the block multiplies and
+        the per-block accumulation; ``None`` selects the default
+        (:data:`~repro.dsparse.backend.DEFAULT_BACKEND`) auto-dispatch.
 
     Returns
     -------
@@ -59,6 +64,7 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
     if comm.nprocs != grid.nprocs:
         raise ValueError("communicator size must match grid size")
     timer = timer if timer is not None else StageTimer()
+    backend = get_backend(backend)
 
     # Partial products accumulated per output block.
     partials: list[list[list[CooMat]]] = [[[] for _ in range(q)] for _ in range(q)]
@@ -80,7 +86,8 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
                 for j in range(q):
                     rank = grid.rank_of(i, j)
                     with step.rank(rank):
-                        part = spgemm_esc(recvA[i][j], recvB[j][i], semiring)
+                        part = backend.spgemm(recvA[i][j], recvB[j][i],
+                                              semiring)
                         if part.nnz:
                             partials[i][j].append(part)
 
@@ -95,6 +102,7 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
                 rank = grid.rank_of(i, j)
                 with step.rank(rank):
                     shape = (int(rb[i + 1] - rb[i]), int(cb[j + 1] - cb[j]))
-                    brow.append(multiway_merge(partials[i][j], semiring, shape))
+                    brow.append(backend.merge(partials[i][j], semiring,
+                                              shape))
             blocks.append(brow)
     return DistMat((A.shape[0], B.shape[1]), grid, blocks, semiring.out_nfields)

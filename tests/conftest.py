@@ -9,12 +9,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.overlap import align_candidates, build_a_matrix, \
-    candidate_overlaps
-from repro.core.string_graph import StringGraph
-from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
 from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
-from repro.seqs.kmer_counter import count_kmers
+
+# Used by the session fixtures below; test files import it from
+# ``overlap_helpers`` directly (see that module's docstring for why).
+from overlap_helpers import build_overlap_graph
 
 
 @pytest.fixture(scope="session")
@@ -33,19 +32,6 @@ def noisy_dataset():
         ReadSimSpec(GenomeSpec(length=12_000, seed=11), depth=12,
                     mean_len=700, min_len=400, sigma_len=0.25,
                     error=ErrorModel(rate=0.05), seed=13))
-
-
-def build_overlap_graph(reads, k=17, nprocs=1, mode="chain", fuzz=20,
-                        upper=40):
-    """Overlap graph R (pre-reduction) for a read set."""
-    comm = SimComm(nprocs, CommTracker(nprocs))
-    timer = StageTimer()
-    grid = ProcessGrid2D(nprocs)
-    table = count_kmers(reads, k, comm, timer, upper=upper)
-    A = build_a_matrix(reads, table, grid, comm, timer)
-    C = candidate_overlaps(A, comm, timer)
-    R = align_candidates(C, reads, k, comm, timer, mode=mode, fuzz=fuzz)
-    return StringGraph.from_coomat(R.to_global()), R, comm, timer
 
 
 @pytest.fixture(scope="session")

@@ -80,7 +80,7 @@ def test_1d_finds_overlaps(clean_dataset, oned_run):
 def test_1d_candidates_match_2d(clean_dataset, oned_run):
     """1D and 2D compute the same candidate pair set (they are the same
     outer product, differently distributed)."""
-    from conftest import build_overlap_graph
+    from overlap_helpers import build_overlap_graph
     from repro.core.overlap import build_a_matrix, candidate_overlaps
     from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
     from repro.seqs.kmer_counter import count_kmers

@@ -39,6 +39,49 @@ def test_csr_indptr():
     assert m.csr_indptr().tolist() == [0, 2, 2, 3, 3]
 
 
+def test_csr_indptr_cached():
+    m = CooMat((4, 3), [0, 0, 2], [0, 2, 1], [[1], [2], [3]])
+    assert m.csr_indptr() is m.csr_indptr()
+
+
+def test_to_csr_zero_copy_view():
+    m = CooMat((4, 3), [0, 0, 2], [0, 2, 1], [[1], [2], [3]])
+    csr = m.to_csr()
+    # Cached, and sharing the COO storage rather than copying it.
+    assert m.to_csr() is csr
+    assert csr.indices is m.col
+    assert np.shares_memory(csr.data, m.vals)
+    dense = np.zeros((4, 3), dtype=np.int64)
+    dense[0, 0], dense[0, 2], dense[2, 1] = 1, 2, 3
+    assert np.array_equal(csr.toarray(), dense)
+
+
+def test_to_csr_selects_field():
+    m = CooMat((2, 2), [0, 1], [1, 0], [[1, 10], [2, 20]])
+    assert m.to_csr(1).toarray().sum() == 30
+
+
+def test_from_csr_rejects_duplicates():
+    # Raw scipy CSR may carry unsummed duplicates; the canonical invariant
+    # must hold here just like in the constructor.
+    dup = sp.csr_matrix((np.array([1, 2], dtype=np.int64),
+                         np.array([0, 0]), np.array([0, 2, 2])),
+                        shape=(2, 2))
+    with pytest.raises(ValueError, match="duplicate"):
+        CooMat.from_csr(dup)
+
+
+def test_from_csr_roundtrip():
+    rng = np.random.default_rng(5)
+    s = sp.random(25, 18, density=0.15, format="coo",
+                  data_rvs=lambda n: rng.integers(1, 100, n))
+    m = CooMat.from_scipy(s)
+    back = CooMat.from_csr(m.to_csr())
+    assert np.array_equal(back.row, m.row)
+    assert np.array_equal(back.col, m.col)
+    assert np.array_equal(back.vals, m.vals)
+
+
 def test_transpose():
     m = CooMat((2, 3), [0, 1], [2, 0], [[5], [6]])
     t = m.transpose()

@@ -17,7 +17,7 @@ from repro.core.transitive_reduction import transitive_reduction
 from repro.dsparse.distmat import DistMat
 from repro.mpisim import CommTracker, ProcessGrid2D, SimComm
 
-from conftest import build_overlap_graph
+from overlap_helpers import build_overlap_graph
 
 
 def _to_dist(graph: StringGraph, P: int) -> tuple[DistMat, SimComm]:
