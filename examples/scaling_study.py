@@ -8,21 +8,33 @@ Fig. 4 and Table I, at laptop scale.
 
 Usage::
 
-    python examples/scaling_study.py [preset] [P1,P2,...]
+    python examples/scaling_study.py [preset] [P1,P2,...] [--workers N]
 
-e.g. ``python examples/scaling_study.py ecoli_like 1,4,16``.
+e.g. ``python examples/scaling_study.py ecoli_like 1,4,16 --workers 4``.
+The modeled times study the *simulated* machine scaling; ``--workers``
+additionally spreads each run's real compute over host cores (identical
+results, measured wall-clock printed per run).
 """
 
+import argparse
 import sys
+import time
 
 from repro import CORI_HASWELL, SUMMIT_CPU, PipelineConfig, run_pipeline
 from repro.eval import load_preset, parallel_efficiency
 
 
 def main(argv: list[str]) -> None:
-    preset_name = argv[1] if len(argv) > 1 else "toy"
-    procs = ([int(x) for x in argv[2].split(",")] if len(argv) > 2
-             else [1, 4, 16])
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("preset", nargs="?", default="toy")
+    ap.add_argument("procs", nargs="?", default="1,4,16",
+                    help="comma-separated simulated process counts")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="real parallel workers (default: REPRO_WORKERS)")
+    args = ap.parse_args(argv[1:])
+    workers = args.workers
+    preset_name = args.preset
+    procs = [int(x) for x in args.procs.split(",")]
 
     preset, _genome, reads, _layout = load_preset(preset_name)
     print(f"Dataset {preset.name}: {len(reads)} reads, depth {preset.depth}")
@@ -31,9 +43,12 @@ def main(argv: list[str]) -> None:
     for P in procs:
         cfg = PipelineConfig(k=17, nprocs=P, align_mode="chain",
                              depth_hint=preset.depth,
-                             error_hint=preset.error_rate)
+                             error_hint=preset.error_rate,
+                             workers=workers)
+        t0 = time.perf_counter()
         results.append(run_pipeline(reads, cfg))
-        print(f"  ran P={P}")
+        print(f"  ran P={P} (wall {time.perf_counter() - t0:.2f} s, "
+              f"workers={workers or 'env/1'})")
 
     for machine in (CORI_HASWELL, SUMMIT_CPU):
         times = [r.modeled_total(machine) for r in results]

@@ -20,6 +20,7 @@ import sys
 from .core.contigs import extract_contigs
 from .core.pipeline import PipelineConfig, run_pipeline_from_fasta
 from .dsparse.backend import available_backends
+from .exec import available_executors
 from .mpisim.machine import MACHINES
 from .seqs.dna import GenomeSpec
 from .seqs.fasta import write_fasta
@@ -63,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "scalar semirings to scipy CSR kernels and "
                             "runs multi-field semirings on the numpy ESC "
                             "reference (results are backend-independent)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="parallel workers for the simulated ranks' "
+                            "local compute (default: the REPRO_WORKERS "
+                            "environment variable, else 1)")
+        p.add_argument("--executor", choices=available_executors(),
+                       default="auto",
+                       help="execution engine: 'auto' runs serial for one "
+                            "worker and a fork-safe process pool otherwise "
+                            "(results are executor-independent)")
 
     asm = sub.add_parser("assemble", help="run the pipeline, write contigs")
     add_pipeline_args(asm)
@@ -94,7 +104,8 @@ def _run(args):
                          align_mode=args.align_mode, fuzz=args.fuzz,
                          depth_hint=args.depth_hint,
                          error_hint=args.error_hint,
-                         backend=args.backend)
+                         backend=args.backend,
+                         workers=args.workers, executor=args.executor)
     return run_pipeline_from_fasta(args.reads, cfg)
 
 

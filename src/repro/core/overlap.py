@@ -32,6 +32,7 @@ from ..dsparse.backend import Backend, get_backend
 from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
 from ..dsparse.summa import summa
+from ..exec import Executor, SERIAL
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D, block_bounds
 from ..mpisim.tracker import StageTimer
@@ -64,52 +65,62 @@ class AlignmentFilter:
         return score >= max(self.min_score, int(self.ratio * overlap_len))
 
 
+def _a_scan_task(ctx, span):
+    """Executor task: one 1D rank's (read, k-mer) entry scan."""
+    reads, table = ctx
+    lo, hi = span
+    rr, cc, vv = [], [], []
+    for gi in range(lo, hi):
+        codes = reads[gi]
+        fwd = pack_kmers(codes, table.k)
+        if fwd.shape[0] == 0:
+            continue
+        canon = canonical_kmers(fwd, table.k)
+        col = table.lookup(canon)
+        ok = col >= 0
+        if not ok.any():
+            continue
+        pos = np.flatnonzero(ok).astype(np.int64)
+        col = col[ok]
+        flip = (canon[ok] != fwd[ok]).astype(np.int64)
+        # Keep the first occurrence per (read, k-mer).
+        _, first = np.unique(col, return_index=True)
+        rr.append(np.full(first.shape[0], gi, dtype=np.int64))
+        cc.append(col[first])
+        vv.append(np.stack([pos[first], flip[first]], axis=1))
+    if not rr:
+        return None
+    return np.concatenate(rr), np.concatenate(cc), np.vstack(vv)
+
+
 def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
-                   comm: SimComm, timer: StageTimer | None = None
-                   ) -> DistMat:
+                   comm: SimComm, timer: StageTimer | None = None,
+                   executor: Executor | None = None) -> DistMat:
     """Construct the distributed |reads|×|k-mers| matrix ``A``.
 
     Each 1D source rank scans its block of reads, looks its k-mers up in the
     reliable dictionary (a distributed-hash lookup in a real run) and routes
     the resulting ``(read, column, pos, flip)`` entries to their 2D block
-    owners; that routing is the ``CreateSpMat`` traffic.
+    owners; that routing is the ``CreateSpMat`` traffic.  The per-rank scans
+    are independent and run on ``executor``.
     """
     timer = timer if timer is not None else StageTimer()
+    executor = executor if executor is not None else SERIAL
     stage = "CreateSpMat"
     P = comm.nprocs
     n = len(reads)
     m = len(table)
     bounds = block_bounds(n, P)
 
-    rows_parts: list[np.ndarray] = []
-    cols_parts: list[np.ndarray] = []
-    vals_parts: list[np.ndarray] = []
+    spans = [(int(bounds[p]), int(bounds[p + 1])) for p in range(P)]
     with timer.superstep(stage) as step:
-        for p in range(P):
-            with step.rank(p):
-                rr, cc, vv = [], [], []
-                for gi in range(int(bounds[p]), int(bounds[p + 1])):
-                    codes = reads[gi]
-                    fwd = pack_kmers(codes, table.k)
-                    if fwd.shape[0] == 0:
-                        continue
-                    canon = canonical_kmers(fwd, table.k)
-                    col = table.lookup(canon)
-                    ok = col >= 0
-                    if not ok.any():
-                        continue
-                    pos = np.flatnonzero(ok).astype(np.int64)
-                    col = col[ok]
-                    flip = (canon[ok] != fwd[ok]).astype(np.int64)
-                    # Keep the first occurrence per (read, k-mer).
-                    _, first = np.unique(col, return_index=True)
-                    rr.append(np.full(first.shape[0], gi, dtype=np.int64))
-                    cc.append(col[first])
-                    vv.append(np.stack([pos[first], flip[first]], axis=1))
-                if rr:
-                    rows_parts.append(np.concatenate(rr))
-                    cols_parts.append(np.concatenate(cc))
-                    vals_parts.append(np.vstack(vv))
+        parts, secs = executor.run_timed(
+            _a_scan_task, spans, context=(reads, table),
+            weights=[hi - lo for lo, hi in spans])
+        step.charge_many(range(P), secs)
+    rows_parts = [part[0] for part in parts if part is not None]
+    cols_parts = [part[1] for part in parts if part is not None]
+    vals_parts = [part[2] for part in parts if part is not None]
 
     if rows_parts:
         row = np.concatenate(rows_parts)
@@ -141,19 +152,21 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
 
 def candidate_overlaps(A: DistMat, comm: SimComm,
                        timer: StageTimer | None = None,
-                       backend: Backend | str | None = None) -> DistMat:
+                       backend: Backend | str | None = None,
+                       executor: Executor | None = None) -> DistMat:
     """``C = A·Aᵀ`` via Sparse SUMMA, upper-triangle only.
 
     The product is symmetric (shared k-mer counts), so only ``i < j`` entries
     are kept for alignment; the symmetric R entries are regenerated after
     alignment.  Diagonal entries (a read with itself) are discarded.
-    ``backend`` selects the local kernels (transpose, SpGEMM, filter).
+    ``backend`` selects the local kernels (transpose, SpGEMM, filter);
+    ``executor`` parallelizes SUMMA's local block work.
     """
     timer = timer if timer is not None else StageTimer()
     backend = get_backend(backend)
     At = A.transpose(backend=backend)
     C = summa(A, At, PositionsSemiring(), comm, "SpGEMM", timer,
-              backend=backend)
+              backend=backend, executor=executor)
     q = C.grid.q
     rb, cbb = C.row_bounds, C.col_bounds
     blocks = []
@@ -223,12 +236,34 @@ def _align_one(reads: ReadSet, gi: int, gj: int, cval: np.ndarray,
     return best
 
 
+def _align_task(ctx, task):
+    """Executor task: align one candidate pair, filter, classify.
+
+    Returns the two directed R payload rows of a surviving dovetail overlap,
+    or ``None`` for pairs pruned by score or classification.
+    """
+    reads, k, mode, scoring, filt, fuzz = ctx
+    gi, gj, cval = task
+    res = _align_one(reads, gi, gj, cval, k, mode, scoring)
+    if res is None:
+        return None
+    olen = res.ea - res.ba
+    if not filt.passes(res.score, olen):
+        return None
+    oc = classify_overlap(reads[gi].shape[0], reads[gj].shape[0], res, fuzz)
+    if oc.kind != "dovetail":
+        return None
+    return ((oc.suffix_ij, oc.end_i, oc.end_j, oc.overlap_len),
+            (oc.suffix_ji, oc.end_j, oc.end_i, oc.overlap_len))
+
+
 def align_candidates(C: DistMat, reads: ReadSet, k: int, comm: SimComm,
                      timer: StageTimer | None = None, *,
                      mode: str = "xdrop",
                      scoring: Scoring | None = None,
                      filt: AlignmentFilter | None = None,
-                     fuzz: int = 100) -> DistMat:
+                     fuzz: int = 100,
+                     executor: Executor | None = None) -> DistMat:
     """Pairwise-align all C nonzeros and build the overlap matrix ``R``.
 
     Alignment is the element-wise APPLY on C; score pruning is the PRUNE
@@ -236,57 +271,58 @@ def align_candidates(C: DistMat, reads: ReadSet, k: int, comm: SimComm,
     entries of ``R``; contained and internal overlaps are discarded here
     (the paper discards contained overlaps at the transitive-reduction
     boundary regardless of score, Section IV-D).
+
+    Every candidate pair is an independent ``executor`` task (weighted by
+    the two read lengths — the x-drop cost driver); survivors are appended
+    in C's canonical block/entry order, so R is byte-identical for every
+    executor and worker count.  Per-pair compute time is charged to the
+    grid rank owning the pair's C block.
     """
     timer = timer if timer is not None else StageTimer()
     scoring = scoring if scoring is not None else Scoring()
     filt = filt if filt is not None else AlignmentFilter()
+    executor = executor if executor is not None else SERIAL
     stage = "Alignment"
     q = C.grid.q
     n = C.shape[0]
+    lengths = reads.lengths
 
-    src_list: list[np.ndarray] = []
-    dst_list: list[np.ndarray] = []
-    val_list: list[np.ndarray] = []
+    tasks: list[tuple[int, int, np.ndarray]] = []
+    task_ranks: list[int] = []
+    for i in range(q):
+        for j in range(q):
+            b = C.blocks[i][j]
+            if b.nnz == 0:
+                continue
+            r0 = int(C.row_bounds[i])
+            c0 = int(C.col_bounds[j])
+            rank = C.grid.rank_of(i, j)
+            for t in range(b.nnz):
+                tasks.append((int(b.row[t]) + r0, int(b.col[t]) + c0,
+                              b.vals[t]))
+                task_ranks.append(rank)
+
+    ctx = (reads, k, mode, scoring, filt, fuzz)
     with timer.superstep(stage) as step:
-        for i in range(q):
-            for j in range(q):
-                rank = C.grid.rank_of(i, j)
-                with step.rank(rank):
-                    b = C.blocks[i][j]
-                    if b.nnz == 0:
-                        continue
-                    r0 = int(C.row_bounds[i])
-                    c0 = int(C.col_bounds[j])
-                    rows, cols, vals = [], [], []
-                    for t in range(b.nnz):
-                        gi = int(b.row[t]) + r0
-                        gj = int(b.col[t]) + c0
-                        res = _align_one(reads, gi, gj, b.vals[t], k, mode,
-                                         scoring)
-                        if res is None:
-                            continue
-                        olen = res.ea - res.ba
-                        if not filt.passes(res.score, olen):
-                            continue
-                        oc = classify_overlap(reads[gi].shape[0],
-                                              reads[gj].shape[0], res, fuzz)
-                        if oc.kind != "dovetail":
-                            continue
-                        rows.extend((gi, gj))
-                        cols.extend((gj, gi))
-                        vals.append((oc.suffix_ij, oc.end_i, oc.end_j,
-                                     oc.overlap_len))
-                        vals.append((oc.suffix_ji, oc.end_j, oc.end_i,
-                                     oc.overlap_len))
-                    if rows:
-                        src_list.append(np.array(rows, dtype=np.int64))
-                        dst_list.append(np.array(cols, dtype=np.int64))
-                        val_list.append(np.array(vals, dtype=np.int64))
+        results, secs = executor.run_timed(
+            _align_task, tasks, context=ctx,
+            weights=[int(lengths[gi] + lengths[gj]) for gi, gj, _ in tasks])
+        step.charge_many(task_ranks, secs)
 
-    if src_list:
-        row = np.concatenate(src_list)
-        col = np.concatenate(dst_list)
-        vals = np.vstack(val_list)
+    rows: list[int] = []
+    cols: list[int] = []
+    val_rows: list[tuple] = []
+    for (gi, gj, _), hit in zip(tasks, results):
+        if hit is None:
+            continue
+        rows.extend((gi, gj))
+        cols.extend((gj, gi))
+        val_rows.extend(hit)
+
+    if rows:
+        row = np.array(rows, dtype=np.int64)
+        col = np.array(cols, dtype=np.int64)
+        vals = np.array(val_rows, dtype=np.int64)
     else:
         row = col = np.empty(0, np.int64)
         vals = np.empty((0, 4), np.int64)

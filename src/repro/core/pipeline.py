@@ -24,6 +24,7 @@ import numpy as np
 from ..align.xdrop import Scoring
 from ..dsparse.backend import get_backend
 from ..dsparse.coomat import CooMat
+from ..exec import get_executor, resolve_workers
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D
 from ..mpisim.machine import MachineModel
@@ -55,6 +56,14 @@ class PipelineConfig:
     routes scalar semirings onto scipy CSR kernels and multi-field
     semirings onto the numpy ESC reference; results are byte-identical
     across backends.
+
+    ``workers`` / ``executor`` select the shared-memory execution engine
+    (:func:`repro.exec.get_executor`) that actually parallelizes the
+    simulated ranks' local work: ``workers=None`` reads ``REPRO_WORKERS``
+    (default 1), ``executor="auto"`` picks the serial reference for one
+    worker and the process pool otherwise.  Like ``backend``, this is a
+    pure performance axis — output is byte-identical for every executor
+    and worker count.
     """
 
     k: int = 17
@@ -69,6 +78,8 @@ class PipelineConfig:
     error_hint: float = 0.15
     max_tr_rounds: int = 32
     backend: str = "auto"
+    workers: int | None = None
+    executor: str = "auto"
 
 
 @dataclass
@@ -157,24 +168,27 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     if upper is None:
         upper = reliable_upper_bound(config.depth_hint, config.error_hint,
                                      config.k)
-    table = count_kmers(reads, config.k, comm, timer,
-                        batches=config.kmer_batches, upper=upper)
+    with get_executor(config.executor,
+                      resolve_workers(config.workers)) as ex:
+        table = count_kmers(reads, config.k, comm, timer,
+                            batches=config.kmer_batches, upper=upper,
+                            executor=ex)
 
-    A = build_a_matrix(reads, table, grid, comm, timer)
-    nnz_a = A.nnz()
-    # Read exchange is issued right after partitioning so it overlaps with
-    # counting and SpGEMM (paper Section IV-D); accounting order is
-    # equivalent.
-    exchange_reads(reads, grid, comm)
-    C = candidate_overlaps(A, comm, timer, backend=backend)
-    nnz_c = C.nnz()
-    R = align_candidates(C, reads, config.k, comm, timer,
-                         mode=config.align_mode, scoring=config.scoring,
-                         filt=config.filt, fuzz=config.fuzz)
-    nnz_r = R.nnz()
-    tr = transitive_reduction(R, comm, timer, fuzz=config.fuzz,
-                              max_rounds=config.max_tr_rounds,
-                              backend=backend)
+        A = build_a_matrix(reads, table, grid, comm, timer, executor=ex)
+        nnz_a = A.nnz()
+        # Read exchange is issued right after partitioning so it overlaps
+        # with counting and SpGEMM (paper Section IV-D); accounting order is
+        # equivalent.
+        exchange_reads(reads, grid, comm)
+        C = candidate_overlaps(A, comm, timer, backend=backend, executor=ex)
+        nnz_c = C.nnz()
+        R = align_candidates(C, reads, config.k, comm, timer,
+                             mode=config.align_mode, scoring=config.scoring,
+                             filt=config.filt, fuzz=config.fuzz, executor=ex)
+        nnz_r = R.nnz()
+        tr = transitive_reduction(R, comm, timer, fuzz=config.fuzz,
+                                  max_rounds=config.max_tr_rounds,
+                                  backend=backend, executor=ex)
     S_global = tr.S.to_global()
     return PipelineResult(
         config=config, n_reads=len(reads), n_kmers=len(table),

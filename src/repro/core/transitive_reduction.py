@@ -39,6 +39,7 @@ from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
 from ..dsparse.elementwise import prune_mask, reduce_rows
 from ..dsparse.summa import summa
+from ..exec import Executor
 from ..mpisim.comm import SimComm
 from ..mpisim.tracker import StageTimer
 from .semirings import BidirectedMinPlus, R_END_I, R_END_J, R_SUFFIX, n_slot
@@ -109,7 +110,8 @@ def _transitive_mask(R: DistMat, N: DistMat, v: np.ndarray) -> DistMat:
 def transitive_reduction(R: DistMat, comm: SimComm,
                          timer: StageTimer | None = None, *,
                          fuzz: int = 150, max_rounds: int = 32,
-                         backend: Backend | str | None = None
+                         backend: Backend | str | None = None,
+                         executor: Executor | None = None
                          ) -> TransitiveReductionResult:
     """Iterated distributed transitive reduction of the overlap matrix.
 
@@ -131,6 +133,10 @@ def transitive_reduction(R: DistMat, comm: SimComm,
         Local-kernel backend for the squaring, reduction, and pruning
         (``N = R²`` is a 4-field MinPlus product, so every backend runs it
         on the ESC kernel; the seam is still threaded for future kernels).
+    executor:
+        :class:`~repro.exec.Executor` parallelizing each round's repeated
+        SUMMA products (the runtime-dominating part of the loop); ``None``
+        runs them serially.
     """
     timer = timer if timer is not None else StageTimer()
     backend = get_backend(backend)
@@ -142,7 +148,7 @@ def transitive_reduction(R: DistMat, comm: SimComm,
             break
         rounds += 1
         N = summa(R, R, BidirectedMinPlus(), comm, STAGE, timer,
-                  backend=backend)
+                  backend=backend, executor=executor)
         v = reduce_rows(R, R_SUFFIX, np.maximum, 0, comm, STAGE,
                         backend=backend)
         v = v + np.int64(fuzz)

@@ -17,6 +17,7 @@ StageTimer` superstep (critical-path max over ranks).
 
 from __future__ import annotations
 
+from ..exec import Executor, SERIAL
 from ..mpisim.comm import SimComm
 from ..mpisim.tracker import StageTimer
 from .backend import Backend, get_backend
@@ -27,9 +28,24 @@ from .semiring import Semiring
 __all__ = ["summa"]
 
 
+def _spgemm_task(ctx, operands):
+    """Executor task: one local block product (module-level for pickling)."""
+    backend, semiring = ctx
+    a, b = operands
+    return backend.spgemm(a, b, semiring)
+
+
+def _merge_task(ctx, task):
+    """Executor task: one output block's partial-result accumulation."""
+    backend, semiring = ctx
+    parts, shape = task
+    return backend.merge(parts, semiring, shape)
+
+
 def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
           stage: str, timer: StageTimer | None = None,
-          backend: Backend | str | None = None) -> DistMat:
+          backend: Backend | str | None = None,
+          executor: Executor | None = None) -> DistMat:
     """Distributed ``C = A ⊗ B`` via Sparse SUMMA.
 
     Parameters
@@ -49,6 +65,12 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
         Local-kernel backend (name or instance) for the block multiplies and
         the per-block accumulation; ``None`` selects the default
         (:data:`~repro.dsparse.backend.DEFAULT_BACKEND`) auto-dispatch.
+    executor:
+        :class:`~repro.exec.Executor` running the local block work (the
+        ``q²`` multiplies per SUMMA stage, the ``q²`` final merges) in
+        parallel; ``None`` runs them serially.  Output is byte-identical
+        either way; per-block compute time is still charged to the owning
+        simulated rank.
 
     Returns
     -------
@@ -65,6 +87,9 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
         raise ValueError("communicator size must match grid size")
     timer = timer if timer is not None else StageTimer()
     backend = get_backend(backend)
+    executor = executor if executor is not None else SERIAL
+    ctx = (backend, semiring)
+    ij = [(i, j) for i in range(q) for j in range(q)]
 
     # Partial products accumulated per output block.
     partials: list[list[list[CooMat]]] = [[[] for _ in range(q)] for _ in range(q)]
@@ -81,28 +106,26 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
             col_comm = comm.sub(grid.col_ranks(j))
             recvB.append(col_comm.bcast(B.blocks[k][j], root=k, stage=stage))
 
+        tasks = [(recvA[i][j], recvB[j][i]) for i, j in ij]
+        weights = [a.nnz + b.nnz for a, b in tasks]
         with timer.superstep(stage) as step:
-            for i in range(q):
-                for j in range(q):
-                    rank = grid.rank_of(i, j)
-                    with step.rank(rank):
-                        part = backend.spgemm(recvA[i][j], recvB[j][i],
-                                              semiring)
-                        if part.nnz:
-                            partials[i][j].append(part)
+            parts, secs = executor.run_timed(_spgemm_task, tasks,
+                                             context=ctx, weights=weights)
+            step.charge_many((grid.rank_of(i, j) for i, j in ij), secs)
+            for (i, j), part in zip(ij, parts):
+                if part.nnz:
+                    partials[i][j].append(part)
 
     # Final per-block accumulation (local, no communication).
     rb = grid.row_bounds(A.shape[0])
     cb = grid.col_bounds(B.shape[1])
+    tasks = [(partials[i][j],
+              (int(rb[i + 1] - rb[i]), int(cb[j + 1] - cb[j])))
+             for i, j in ij]
+    weights = [sum(p.nnz for p in plist) for plist, _ in tasks]
     with timer.superstep(stage) as step:
-        blocks: list[list[CooMat]] = []
-        for i in range(q):
-            brow: list[CooMat] = []
-            for j in range(q):
-                rank = grid.rank_of(i, j)
-                with step.rank(rank):
-                    shape = (int(rb[i + 1] - rb[i]), int(cb[j + 1] - cb[j]))
-                    brow.append(backend.merge(partials[i][j], semiring,
-                                              shape))
-            blocks.append(brow)
+        merged, secs = executor.run_timed(_merge_task, tasks, context=ctx,
+                                          weights=weights)
+        step.charge_many((grid.rank_of(i, j) for i, j in ij), secs)
+    blocks = [[merged[i * q + j] for j in range(q)] for i in range(q)]
     return DistMat((A.shape[0], B.shape[1]), grid, blocks, semiring.out_nfields)

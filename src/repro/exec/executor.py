@@ -1,0 +1,281 @@
+"""Shared-memory executors with deterministic ordered reduction.
+
+The mpisim layer models *what a distributed run would cost*; this module
+makes the simulated ranks' local work *actually run in parallel* on the
+host's cores.  Every hot loop in the pipeline — SUMMA block multiplies,
+candidate-pair x-drop alignments, per-rank k-mer hashing — is a list of
+independent tasks, and an :class:`Executor` maps a function over such a
+list:
+
+* :class:`SerialExecutor` — the deterministic reference (and default): a
+  plain in-order loop with zero overhead.
+* :class:`ThreadExecutor` — a ``concurrent.futures`` thread pool; wins when
+  the tasks spend their time in numpy/scipy kernels that release the GIL.
+* :class:`ProcessExecutor` — a fork-safe process pool for pure-Python-heavy
+  tasks (the x-drop loop); chunks are pickled to workers, results shipped
+  back.
+
+All three share one contract, which is what makes ``--workers`` a pure
+performance axis:
+
+1. tasks are batched into weight-balanced **contiguous** chunks
+   (:func:`~repro.exec.partition.weighted_chunks`), and
+2. per-task results are concatenated back in task-list order — an ordered,
+   deterministic reduction.
+
+Because each task is independent and the reduction never reorders, the
+result list is byte-identical across executors and worker counts; only
+wall-clock changes.  Per-task CPU time is measured inside the worker and
+returned alongside each result so callers can keep charging compute to the
+owning simulated rank (:class:`~repro.mpisim.tracker.StageTimer`'s
+critical-path max semantics survive parallel execution).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable
+
+from .partition import weighted_chunks
+
+__all__ = [
+    "Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
+    "get_executor", "register_executor", "available_executors",
+    "resolve_workers", "SERIAL", "DEFAULT_EXECUTOR", "WORKERS_ENV",
+    "EXECUTOR_ENV",
+]
+
+#: Name resolved by ``get_executor("auto", workers)`` when ``workers > 1``.
+PARALLEL_DEFAULT = "process"
+
+#: Name resolved by ``get_executor(None)`` (before env overrides).
+DEFAULT_EXECUTOR = "auto"
+
+#: Environment variables consulted by :func:`resolve_workers` /
+#: :func:`get_executor` when the caller passes ``None``.
+WORKERS_ENV = "REPRO_WORKERS"
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Chunks submitted per worker — enough slack for uneven chunks to
+#: rebalance across the pool without drowning in submission overhead
+#: (each chunk re-pickles the shared context for a process pool, so this
+#: also bounds how many times a big context crosses the pipe per call).
+_CHUNKS_PER_WORKER = 2
+
+TaskFn = Callable[[Any, Any], Any]
+
+
+def _run_chunk(fn: TaskFn, context: Any, tasks: list) -> list[tuple[Any, float]]:
+    """Run one chunk in-order, timing each task (executes in the worker).
+
+    Tasks are timed with per-thread CPU time, not wall-clock: under a
+    thread pool a wall-clock span would include every co-scheduled
+    thread's execution (GIL hand-offs), inflating the compute charged to
+    each simulated rank roughly workers-fold.  CPU time attributes to a
+    rank only the cycles its own task burned, so
+    :class:`~repro.mpisim.tracker.StageTimer` breakdowns stay comparable
+    across executors (for the compute-bound kernels here, serial CPU time
+    ≈ serial wall time).
+    """
+    out = []
+    for task in tasks:
+        t0 = time.thread_time()
+        res = fn(context, task)
+        out.append((res, time.thread_time() - t0))
+    return out
+
+
+class Executor:
+    """Maps ``fn(context, task)`` over task lists with ordered reduction.
+
+    ``context`` is shared, read-only state delivered once per chunk (for
+    process pools it is pickled per chunk, not per task — pass the big
+    immutable stuff like the read set here).  ``weights`` are per-task cost
+    estimates (nonzero counts, read lengths) driving chunk balance; results
+    never depend on them.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+
+    def run_timed(self, fn: TaskFn, tasks: list, *, context: Any = None,
+                  weights=None) -> tuple[list, list[float]]:
+        """Ordered results plus per-task wall seconds (measured in-worker)."""
+        raise NotImplementedError
+
+    def run(self, fn: TaskFn, tasks: list, *, context: Any = None,
+            weights=None) -> list:
+        """Ordered results (timing discarded)."""
+        return self.run_timed(fn, tasks, context=context, weights=weights)[0]
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release pool resources; the executor may not be reused after."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialExecutor(Executor):
+    """In-order single-thread execution — the determinism reference."""
+
+    name = "serial"
+
+    def run_timed(self, fn, tasks, *, context=None, weights=None):
+        pairs = _run_chunk(fn, context, list(tasks))
+        return [r for r, _ in pairs], [s for _, s in pairs]
+
+
+class _PoolExecutor(Executor):
+    """Shared chunk-submit / ordered-gather logic for the two pool kinds."""
+
+    def _pool(self):
+        raise NotImplementedError
+
+    def run_timed(self, fn, tasks, *, context=None, weights=None):
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 1:
+            pairs = _run_chunk(fn, context, tasks)
+            return [r for r, _ in pairs], [s for _, s in pairs]
+        if weights is None:
+            weights = [1.0] * len(tasks)
+        ranges = weighted_chunks(weights, self.workers * _CHUNKS_PER_WORKER)
+        pool = self._pool()
+        futures: list[Future] = [
+            pool.submit(_run_chunk, fn, context, tasks[lo:hi])
+            for lo, hi in ranges]
+        results: list = []
+        seconds: list[float] = []
+        # Gather in submission order = task order: the ordered reduction.
+        for fut in futures:
+            for res, sec in fut.result():
+                results.append(res)
+                seconds.append(sec)
+        return results, seconds
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool executor; shines on GIL-releasing numpy/scipy kernels."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._threads: ThreadPoolExecutor | None = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec")
+        return self._threads
+
+    def close(self) -> None:
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool executor for pure-Python-bound task loops.
+
+    Uses the ``fork`` start method where the platform offers it (cheap
+    worker startup, parent globals inherited) and falls back to ``spawn``
+    elsewhere; either way task functions and payloads must be picklable —
+    which is why the pipeline's task functions are module-level and carry
+    their state via ``context``.  The pool is created lazily on first use
+    and reused across calls, so per-stage dispatch costs a round of chunk
+    pickles, not a pool spin-up.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._procs: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._procs is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            self._procs = ProcessPoolExecutor(max_workers=self.workers,
+                                              mp_context=ctx)
+        return self._procs
+
+    def close(self) -> None:
+        if self._procs is not None:
+            self._procs.shutdown(wait=True)
+            self._procs = None
+
+
+#: Shared zero-state serial instance — the default for library call sites.
+SERIAL = SerialExecutor()
+
+_REGISTRY: dict[str, type[Executor]] = {}
+
+
+def register_executor(name: str, cls: type[Executor]) -> None:
+    """Register (or replace) an executor class under ``name``."""
+    if not (isinstance(cls, type) and issubclass(cls, Executor)):
+        raise TypeError(f"expected an Executor subclass, got {cls!r}")
+    _REGISTRY[name] = cls
+
+
+def available_executors() -> list[str]:
+    """Sorted names accepted by :func:`get_executor` (and the CLI flag)."""
+    return sorted(_REGISTRY) + ["auto"]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Explicit worker count, else the ``REPRO_WORKERS`` env var, else 1."""
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    return max(1, int(env)) if env else 1
+
+
+def get_executor(name: "str | Executor | None" = None,
+                 workers: int | None = None) -> Executor:
+    """Build an executor by name with ``workers`` parallel workers.
+
+    ``None`` defaults to ``"auto"``; ``"auto"`` defers to the
+    ``REPRO_EXECUTOR`` env var when set, else picks serial for one worker
+    and the process pool otherwise — so the environment can steer every
+    default-configured run (the CI determinism leg) without touching
+    explicit choices.  An already-built :class:`Executor` passes through
+    unchanged so plumbing layers accept either form.
+    """
+    if isinstance(name, Executor):
+        return name
+    if name is None:
+        name = DEFAULT_EXECUTOR
+    workers = resolve_workers(workers)
+    if name == "auto":
+        env = os.environ.get(EXECUTOR_ENV, "").strip()
+        if env and env != "auto":
+            name = env
+        else:
+            name = "serial" if workers <= 1 else PARALLEL_DEFAULT
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown executor {name!r}; available: "
+                       f"{', '.join(available_executors())}") from None
+    return cls(workers)
+
+
+register_executor("serial", SerialExecutor)
+register_executor("thread", ThreadExecutor)
+register_executor("process", ProcessExecutor)

@@ -1,0 +1,58 @@
+"""Weight-balanced work partitioning for the executor layer.
+
+The pipeline's parallel loops are lists of independent tasks with wildly
+uneven costs (a SUMMA block multiply is as expensive as its operands have
+nonzeros; an alignment as its reads are long).  Shipping one task at a time
+to a worker pool would drown the useful work in submission and pickling
+overhead, so the executors batch tasks into *chunks* — contiguous slices of
+the task list whose summed weight is as even as possible.
+
+Chunks are contiguous on purpose: every executor concatenates per-task
+results back in task-list order (the ordered reduction that makes results
+byte-identical across worker counts), and contiguous chunks make that
+reassembly a trivial ordered flatten with no permutation bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["weighted_chunks"]
+
+
+def weighted_chunks(weights: Sequence[float] | np.ndarray,
+                    n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(len(weights))`` into ≤ ``n_chunks`` contiguous ranges.
+
+    Chunk boundaries are placed at the weight-prefix quantiles, so each
+    chunk carries roughly ``total_weight / n_chunks`` — the nnz-weighted
+    analogue of an even block split.  Zero-weight tasks are still assigned
+    (every index appears in exactly one range); empty ranges are dropped.
+
+    Returns a list of half-open ``(lo, hi)`` index ranges in ascending
+    order whose concatenation is exactly ``range(len(weights))``.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    n = w.shape[0]
+    if n == 0:
+        return []
+    if n_chunks <= 1 or n == 1:
+        return [(0, n)]
+    n_chunks = min(n_chunks, n)
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    prefix = np.cumsum(w)
+    total = prefix[-1]
+    if total <= 0.0:
+        # All-zero weights: fall back to an even count split.
+        bounds = (np.arange(n_chunks + 1, dtype=np.int64) * n) // n_chunks
+    else:
+        targets = (np.arange(1, n_chunks, dtype=np.float64) *
+                   (total / n_chunks))
+        cuts = np.searchsorted(prefix, targets, side="left") + 1
+        bounds = np.concatenate(([0], cuts, [n]))
+        bounds = np.maximum.accumulate(np.minimum(bounds, n))
+    return [(int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]

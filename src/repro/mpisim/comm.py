@@ -31,11 +31,21 @@ def nbytes_of(obj) -> int:
     """Best-effort payload size in bytes for accounting purposes.
 
     numpy arrays report their true buffer size; scipy sparse matrices the sum
-    of their component arrays; lists/tuples recurse; anything else is charged
-    a nominal 8 bytes per object (the pipeline only ships arrays in practice).
+    of their component arrays; ``bytes``/``str`` their encoded length;
+    lists/tuples recurse; anything else is charged a nominal 8 bytes per
+    object (the pipeline only ships arrays in practice).
     """
     if obj is None:
         return 0
+    # True payload for raw byte/character buffers — checked before the
+    # duck-typed array probes so they never fall through to the 8-byte
+    # catch-all (an MPI rank would ship every one of these characters).
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, memoryview):
+        return int(obj.nbytes)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
     # CooMat-shaped objects: row/col index arrays + a vals field array.
@@ -60,8 +70,6 @@ def nbytes_of(obj) -> int:
         return int(data.nbytes) + int(row.nbytes) + int(col.nbytes)
     if isinstance(obj, (list, tuple)):
         return sum(nbytes_of(x) for x in obj)
-    if isinstance(obj, (bytes, bytearray)):
-        return len(obj)
     if isinstance(obj, dict):
         return sum(nbytes_of(v) for v in obj.values())
     return 8

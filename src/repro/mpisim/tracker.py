@@ -149,5 +149,10 @@ class _Superstep:
         """Directly attribute compute seconds to a rank."""
         self._rank_times[rank] += seconds
 
+    def charge_many(self, ranks, seconds) -> None:
+        """Attribute per-task compute to ranks pairwise (executor results)."""
+        for rank, sec in zip(ranks, seconds):
+            self._rank_times[rank] += sec
+
     def max_rank_time(self) -> float:
         return max(self._rank_times.values(), default=0.0)

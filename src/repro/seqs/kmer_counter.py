@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from ..exec import Executor, SERIAL
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import block_bounds
 from ..mpisim.tracker import StageTimer
@@ -36,6 +37,58 @@ from .kmers import read_kmers, splitmix64
 __all__ = ["KmerTable", "reliable_upper_bound", "count_kmers"]
 
 STAGE = "CountKmer"
+
+
+# -- executor tasks (module-level so the process pool can pickle them) ------
+
+def _extract_task(ctx, owned_idx):
+    """One rank's k-mer extraction over its block of reads."""
+    reads, k = ctx
+    parts = [read_kmers(reads[int(i)], k)[0] for i in owned_idx]
+    return np.concatenate(parts) if parts else np.empty(0, np.uint64)
+
+
+def _pass1_task(ctx, task):
+    """First-pass handling at one owner rank: Bloom insert + admission.
+
+    Takes and returns the rank's filter (the only cross-round state the
+    pass needs — with a process pool it is shipped back mutated, with
+    threads it is the same object) plus the keys the Bloom test admitted;
+    the admission table itself stays in the parent so it is never
+    pickled.
+    """
+    bloom, incoming = task
+    seen = bloom.add_and_test(incoming)
+    return bloom, incoming[seen]
+
+
+def _pass2_task(ctx, task):
+    """Second-pass handling at one owner rank: exact counting.
+
+    ``admitted_keys`` is the rank's sorted admitted-key array — a compact
+    stand-in for the admission dict, so membership is one vectorized
+    searchsorted instead of a Python dict probe per k-mer.  Returns the
+    (admitted key, count) arrays for the parent to fold into the dict.
+    """
+    admitted_keys, incoming = task
+    if admitted_keys.shape[0] == 0 or incoming.size == 0:
+        return np.empty(0, np.uint64), np.empty(0, np.int64)
+    uniq, cnt = np.unique(incoming, return_counts=True)
+    idx = np.searchsorted(admitted_keys, uniq)
+    idx = np.minimum(idx, admitted_keys.shape[0] - 1)
+    hit = admitted_keys[idx] == uniq
+    return uniq[hit], cnt[hit]
+
+
+def _reliable_task(ctx, table):
+    """Reliable selection at one owner rank: multiplicity-range filter."""
+    lower, upper = ctx
+    if not table:
+        return np.empty(0, np.uint64), np.empty(0, np.int64)
+    kk = np.fromiter(table.keys(), dtype=np.uint64, count=len(table))
+    cc = np.fromiter(table.values(), dtype=np.int64, count=len(table))
+    keep = (cc >= lower) & (cc <= upper)
+    return kk[keep], cc[keep]
 
 
 @dataclass
@@ -89,7 +142,8 @@ def _partition_reads(reads: ReadSet, nprocs: int) -> list[np.ndarray]:
 def count_kmers(reads: ReadSet, k: int, comm: SimComm,
                 timer: StageTimer | None = None, *,
                 batches: int = 1, bloom_fp: float = 0.01,
-                lower: int = 2, upper: int = 8) -> KmerTable:
+                lower: int = 2, upper: int = 8,
+                executor: Executor | None = None) -> KmerTable:
     """Distributed two-pass k-mer counting.
 
     Parameters
@@ -109,6 +163,11 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
     lower, upper:
         Reliable multiplicity range (inclusive); compute ``upper`` with
         :func:`reliable_upper_bound` for dataset-driven values.
+    executor:
+        :class:`~repro.exec.Executor` spreading each superstep's per-rank
+        work (extraction, Bloom handling, counting, selection) over real
+        workers; ``None`` keeps the serial reference loop.  The resulting
+        table is byte-identical either way.
 
     Returns
     -------
@@ -117,16 +176,15 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
     """
     P = comm.nprocs
     timer = timer if timer is not None else StageTimer()
+    executor = executor if executor is not None else SERIAL
     owned = _partition_reads(reads, P)
 
     # Extract (canonical) k-mers per rank once; reused by both passes.
-    rank_kmers: list[np.ndarray] = []
     with timer.superstep(STAGE) as step:
-        for p in range(P):
-            with step.rank(p):
-                parts = [read_kmers(reads[int(i)], k)[0] for i in owned[p]]
-                km = np.concatenate(parts) if parts else np.empty(0, np.uint64)
-                rank_kmers.append(km)
+        rank_kmers, secs = executor.run_timed(
+            _extract_task, owned, context=(reads, k),
+            weights=[idx.shape[0] for idx in owned])
+        step.charge_many(range(P), secs)
 
     dest = [(splitmix64(km) % np.uint64(P)).astype(np.int64)
             for km in rank_kmers]
@@ -136,7 +194,7 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
               for _ in range(P)]
     admitted: list[dict[int, int]] = [dict() for _ in range(P)]
 
-    def exchange_pass(handle) -> None:
+    def exchange_rounds(run_round) -> None:
         """One pass = ``batches`` alltoallv rounds + local handling."""
         for b in range(batches):
             send: list[list[np.ndarray]] = []
@@ -147,50 +205,51 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
                 sl, dl = km[lo:hi], dest[p][lo:hi]
                 send.append([sl[dl == q] for q in range(P)])
             recv = comm.alltoallv(send, stage=STAGE)
-            with timer.superstep(STAGE) as step:
-                for q in range(P):
-                    with step.rank(q):
-                        incoming = np.concatenate(recv[q]) if recv[q] else \
-                            np.empty(0, np.uint64)
-                        handle(q, incoming)
+            incoming = [np.concatenate(recv[q]) if recv[q] else
+                        np.empty(0, np.uint64) for q in range(P)]
+            run_round(incoming)
 
     # Pass 1: Bloom insertion; k-mers seen >= 2 enter the local table.
-    def pass1(q: int, incoming: np.ndarray) -> None:
-        seen = blooms[q].add_and_test(incoming)
-        table = admitted[q]
-        for kv in incoming[seen]:
-            table.setdefault(int(kv), 0)
+    def pass1(incoming: list[np.ndarray]) -> None:
+        with timer.superstep(STAGE) as step:
+            out, secs = executor.run_timed(
+                _pass1_task,
+                [(blooms[q], incoming[q]) for q in range(P)],
+                weights=[inc.shape[0] for inc in incoming])
+            step.charge_many(range(P), secs)
+        for q, (bloom, new_keys) in enumerate(out):
+            blooms[q] = bloom
+            table = admitted[q]
+            for kv in new_keys:
+                table.setdefault(int(kv), 0)
 
-    # Pass 2: exact counts for admitted k-mers.
-    def pass2(q: int, incoming: np.ndarray) -> None:
-        table = admitted[q]
-        if not table or incoming.size == 0:
-            return
-        uniq, cnt = np.unique(incoming, return_counts=True)
-        for kv, c in zip(uniq, cnt):
-            kv = int(kv)
-            if kv in table:
-                table[kv] += int(c)
+    # Pass 2: exact counts for admitted k-mers.  Workers get each rank's
+    # sorted key array (compact, vectorizable); the dicts never move.
+    def pass2(incoming: list[np.ndarray]) -> None:
+        keys = [np.sort(np.fromiter(admitted[q].keys(), dtype=np.uint64,
+                                    count=len(admitted[q])))
+                for q in range(P)]
+        with timer.superstep(STAGE) as step:
+            out, secs = executor.run_timed(
+                _pass2_task,
+                [(keys[q], incoming[q]) for q in range(P)],
+                weights=[inc.shape[0] for inc in incoming])
+            step.charge_many(range(P), secs)
+        for q, (hit_keys, counts) in enumerate(out):
+            table = admitted[q]
+            for kv, c in zip(hit_keys, counts):
+                table[int(kv)] += int(c)
 
-    exchange_pass(pass1)
-    exchange_pass(pass2)
+    exchange_rounds(pass1)
+    exchange_rounds(pass2)
 
     # Reliable selection + global dictionary assembly (an allgather of the
     # per-rank reliable sets; column ids are the sorted order).
-    rel_parts = []
     with timer.superstep(STAGE) as step:
-        for q in range(P):
-            with step.rank(q):
-                if admitted[q]:
-                    kk = np.fromiter(admitted[q].keys(), dtype=np.uint64,
-                                     count=len(admitted[q]))
-                    cc = np.fromiter(admitted[q].values(), dtype=np.int64,
-                                     count=len(admitted[q]))
-                    keep = (cc >= lower) & (cc <= upper)
-                    rel_parts.append((kk[keep], cc[keep]))
-                else:
-                    rel_parts.append((np.empty(0, np.uint64),
-                                      np.empty(0, np.int64)))
+        rel_parts, secs = executor.run_timed(
+            _reliable_task, admitted, context=(lower, upper),
+            weights=[len(t) for t in admitted])
+        step.charge_many(range(P), secs)
     comm.allgather([p[0] for p in rel_parts], stage=STAGE)
     all_k = np.concatenate([p[0] for p in rel_parts])
     all_c = np.concatenate([p[1] for p in rel_parts])

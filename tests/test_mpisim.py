@@ -19,6 +19,18 @@ def test_nbytes_of_arrays_and_containers():
     assert nbytes_of(b"abc") == 3
 
 
+def test_nbytes_of_bytes_and_str_true_payload():
+    # bytes/str are charged their encoded length, not the 8-byte catch-all.
+    assert nbytes_of(b"x" * 1000) == 1000
+    assert nbytes_of(bytearray(17)) == 17
+    assert nbytes_of("hello") == 5
+    assert nbytes_of("né") == 3           # UTF-8 multi-byte characters count
+    assert nbytes_of("") == 0
+    assert nbytes_of(memoryview(np.zeros(4, dtype=np.int32))) == 16
+    assert nbytes_of(["ab", b"cd"]) == 4  # containers recurse into them
+    assert nbytes_of(object()) == 8       # catch-all is unchanged
+
+
 def test_nbytes_of_scipy():
     import scipy.sparse as sp
     m = sp.random(50, 50, density=0.1, format="csr")
