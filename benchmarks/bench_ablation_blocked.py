@@ -34,6 +34,7 @@ def test_ablation_blocked_memory(benchmark):
                 "total_nnz_C": res.nnz_c,
                 "peak_strip_nnz": res.peak_strip_nnz,
                 "peak_fraction": res.peak_strip_nnz / max(1, res.nnz_c),
+                "peak_strip_bytes": res.peak_strip_bytes,
                 "R_entries": res.R.nnz(),
             })
         return out

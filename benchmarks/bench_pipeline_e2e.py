@@ -10,6 +10,12 @@ Beyond the timing table, it asserts the executor contract — every parallel
 run must be byte-identical to serial — and writes ``BENCH_pipeline.json``
 at the repo root so the perf trajectory is machine-readable across PRs.
 
+It also records the **memory trajectory**: the per-stage live-matrix peaks
+of the monolithic run against the blocked (strip-mined) overlap mode at
+``N_STRIPS`` strips, gating that the candidate-matrix high-water mark drops
+at least ``MIN_MEMORY_REDUCTION``-fold while S stays byte-identical — the
+paper's Section VIII memory-reduction plan, measured end to end.
+
 Acceptance gate: with ≥ 4 usable cores, the best parallel run must be
 ≥ 2× faster than serial.  Hosts without that parallelism (CI containers
 pinned to one core) still record results; the determinism assertions hold
@@ -38,6 +44,11 @@ ERROR_RATE = 0.05
 WORKERS = 4
 RUNS = [("serial", 1), ("thread", WORKERS), ("process", WORKERS)]
 
+#: Strip count for the blocked-mode memory run, and the factor by which it
+#: must cut the candidate-matrix peak (the PR's acceptance gate).
+N_STRIPS = 4
+MIN_MEMORY_REDUCTION = 3.0
+
 
 def _usable_cpus() -> int:
     try:
@@ -54,10 +65,13 @@ def _dataset():
     return reads
 
 
-def _config(executor: str, workers: int) -> PipelineConfig:
+def _config(executor: str, workers: int, **kw) -> PipelineConfig:
+    # Pin the mode so the monolithic-vs-blocked memory comparison stays
+    # meaningful even when REPRO_OVERLAP_MODE forces blocked elsewhere.
+    kw.setdefault("overlap_mode", "monolithic")
     return PipelineConfig(k=17, nprocs=4, align_mode="xdrop",
                           depth_hint=DEPTH, error_hint=ERROR_RATE,
-                          executor=executor, workers=workers)
+                          executor=executor, workers=workers, **kw)
 
 
 def test_pipeline_e2e_speedup(benchmark):
@@ -71,6 +85,11 @@ def test_pipeline_e2e_speedup(benchmark):
             results[executor] = run_pipeline(reads,
                                              _config(executor, workers))
             walls[executor] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        results["blocked"] = run_pipeline(
+            reads, _config("serial", 1, overlap_mode="blocked",
+                           n_strips=N_STRIPS))
+        walls["blocked"] = time.perf_counter() - t0
         return results, walls
 
     results, walls = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -111,6 +130,32 @@ def test_pipeline_e2e_speedup(benchmark):
 
     best = max(r["speedup_vs_serial"] for r in record["runs"][1:])
     record["best_parallel_speedup"] = best
+
+    # -- memory trajectory: monolithic vs. blocked at N_STRIPS strips ------
+    blk = results["blocked"]
+    assert (np.array_equal(blk.S.row, ref.S.row) and
+            np.array_equal(blk.S.col, ref.S.col) and
+            np.array_equal(blk.S.vals, ref.S.vals)), \
+        "blocked mode output diverged from monolithic"
+    mono_peak = ref.peak_candidate_bytes
+    blk_peak = blk.peak_candidate_bytes
+    reduction = mono_peak / max(1, blk_peak)
+    record["memory"] = {
+        "monolithic_peak_bytes_per_stage": ref.peak_bytes,
+        "blocked_peak_bytes_per_stage": blk.peak_bytes,
+        "monolithic_peak_candidate_bytes": mono_peak,
+        "blocked_n_strips": N_STRIPS,
+        "blocked_peak_candidate_bytes": blk_peak,
+        "blocked_wall_seconds": round(walls["blocked"], 4),
+        "candidate_memory_reduction": round(reduction, 3),
+        "blocked_identical_to_monolithic": True,
+    }
+    print(f"peak candidate memory: monolithic {mono_peak:,} B, blocked "
+          f"({N_STRIPS} strips) {blk_peak:,} B -> {reduction:.2f}x lower")
+    assert reduction >= MIN_MEMORY_REDUCTION, (
+        f"expected >= {MIN_MEMORY_REDUCTION}x lower candidate-memory peak "
+        f"at {N_STRIPS} strips, measured {reduction:.2f}x")
+
     JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {JSON_PATH.name} (best parallel speedup {best:.2f}x)")
 

@@ -1,53 +1,74 @@
 #!/usr/bin/env python
-"""Strip-mined overlap detection (the paper's Section VIII future work).
+"""Memory-budget blocked pipeline mode (the paper's Section VIII plan).
 
-Demonstrates forming the candidate matrix C in column strips — aligning and
-pruning each strip before moving to the next — so the peak number of live
-candidate entries (the memory high-water mark that limits low-concurrency
-runs of large genomes) drops with the strip count while the final overlap
-matrix stays bit-identical.
+The candidate matrix ``C = A·Aᵀ`` is the pipeline's memory high-water mark:
+at low concurrency a large genome may not fit it.  With
+``overlap_mode="blocked"`` the pipeline forms C in column strips — aligning
+and pruning each strip before the next one exists — so the peak drops
+~``n_strips``-fold while the string matrix S stays byte-identical.
+
+This example runs the same read set through the monolithic path and through
+blocked mode at several strip counts (plus a byte-budget-driven run where
+the scheduler picks the count from the measured ``nnz(A)`` and the BELLA
+density model), and prints the recorded candidate-memory high-water marks.
 
 Usage::
 
-    python examples/memory_reduction.py
+    python examples/memory_reduction.py [--memory-budget 256K]
 """
 
-from repro.core.blocked import candidate_overlaps_blocked
-from repro.core.overlap import build_a_matrix
-from repro.core.string_graph import StringGraph
-from repro.core.transitive_reduction import transitive_reduction
+import argparse
+
+import numpy as np
+
+from repro import PipelineConfig, run_pipeline
+from repro.core.memory import format_bytes, parse_bytes
 from repro.eval import load_preset
-from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
-from repro.seqs.kmer_counter import count_kmers, reliable_upper_bound
 
 
 def main() -> None:
-    preset, _genome, reads, _layout = load_preset("toy")
-    P = 4
-    comm = SimComm(P, CommTracker(P))
-    timer = StageTimer()
-    upper = reliable_upper_bound(preset.depth, preset.error_rate, 17)
-    table = count_kmers(reads, 17, comm, timer, upper=upper)
-    A = build_a_matrix(reads, table, ProcessGrid2D(P), comm, timer)
-    print(f"{len(reads)} reads, {len(table):,} reliable k-mers, "
-          f"nnz(A) = {A.nnz():,}\n")
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--memory-budget", type=parse_bytes, default="128K",
+                    metavar="BYTES",
+                    help="candidate-matrix byte budget for the scheduler-"
+                         "driven run (e.g. 64K, 2M; default 128K)")
+    args = ap.parse_args()
 
-    print(f"{'strips':>6s} {'peak C entries':>15s} {'of total':>9s} "
-          f"{'R entries':>10s} {'S entries':>10s}")
-    reference = None
-    for strips in (1, 2, 4, 8, 16):
-        res = candidate_overlaps_blocked(A, reads, 17, comm, strips, timer,
-                                         mode="chain")
-        tr = transitive_reduction(res.R.copy(), comm, timer, fuzz=150)
-        frac = res.peak_strip_nnz / max(1, res.nnz_c)
-        print(f"{strips:6d} {res.peak_strip_nnz:15,d} {frac:9.1%} "
-              f"{res.R.nnz():10,d} {tr.S.nnz():10,d}")
-        edges = StringGraph.from_coomat(res.R.to_global()).edge_set()
-        if reference is None:
-            reference = edges
-        assert edges == reference, "strip count must not change the result"
-    print("\nR identical for every strip count; peak memory scales down "
-          "with strips (Section VIII's proposal).")
+    preset, _genome, reads, _layout = load_preset("toy")
+
+    def config(**kw) -> PipelineConfig:
+        return PipelineConfig(k=17, nprocs=4, align_mode="chain",
+                              depth_hint=preset.depth,
+                              error_hint=preset.error_rate, **kw)
+
+    ref = run_pipeline(reads, config(overlap_mode="monolithic"))
+    print(f"{len(reads)} reads, {ref.n_kmers:,} reliable k-mers, "
+          f"nnz(C) = {ref.nnz_c:,}\n")
+    print(f"{'mode':>18s} {'strips':>6s} {'peak C bytes':>13s} "
+          f"{'of monolithic':>13s} {'S entries':>10s} {'identical':>9s}")
+    mono_peak = ref.peak_candidate_bytes
+    print(f"{'monolithic':>18s} {'-':>6s} {format_bytes(mono_peak):>13s} "
+          f"{'100.0%':>13s} {ref.nnz_s:10,d} {'(ref)':>9s}")
+
+    runs = [(f"blocked", dict(overlap_mode="blocked", n_strips=s))
+            for s in (2, 4, 8, 16)]
+    runs.append(("budget " + format_bytes(args.memory_budget),
+                 dict(overlap_mode="blocked",
+                      memory_budget=args.memory_budget)))
+    for label, kw in runs:
+        res = run_pipeline(reads, config(**kw))
+        identical = (np.array_equal(res.S.row, ref.S.row) and
+                     np.array_equal(res.S.col, ref.S.col) and
+                     np.array_equal(res.S.vals, ref.S.vals))
+        assert identical, "blocked mode must not change the result"
+        peak = res.peak_candidate_bytes
+        print(f"{label:>18s} {res.n_strips:6d} {format_bytes(peak):>13s} "
+              f"{peak / max(1, mono_peak):13.1%} {res.nnz_s:10,d} "
+              f"{'yes':>9s}")
+
+    print("\nS is byte-identical in every run; the candidate-memory "
+          "high-water mark scales down with the strip count "
+          "(Section VIII's proposal, now a first-class pipeline mode).")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ import argparse
 import time
 
 from repro import CORI_HASWELL, PipelineConfig, extract_contigs, run_pipeline
+from repro.core.memory import OVERLAP_MODES, format_bytes, parse_bytes
 from repro.exec import available_executors
 from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
 
@@ -28,6 +29,14 @@ def main() -> None:
                     help="parallel workers (default: REPRO_WORKERS, else 1)")
     ap.add_argument("--executor", choices=available_executors(),
                     default="auto")
+    ap.add_argument("--overlap-mode", choices=("auto",) + OVERLAP_MODES,
+                    default="auto",
+                    help="'blocked' strip-mines the candidate matrix for a "
+                         "~n_strips-fold lower memory peak, same output")
+    ap.add_argument("--memory-budget", type=parse_bytes, default=None,
+                    metavar="BYTES",
+                    help="candidate-matrix byte budget (e.g. 64M); implies "
+                         "strip scheduling in blocked mode")
     args = ap.parse_args()
     # 1. Simulate a 30 kb genome at 15x depth with 5% CLR-style errors.
     genome, reads, layout = simulate_reads(
@@ -44,12 +53,18 @@ def main() -> None:
     #    output, smaller wall-clock).
     config = PipelineConfig(k=17, nprocs=4, align_mode="chain",
                             depth_hint=15, error_hint=0.05,
-                            workers=args.workers, executor=args.executor)
+                            workers=args.workers, executor=args.executor,
+                            overlap_mode=args.overlap_mode,
+                            memory_budget=args.memory_budget)
     t0 = time.perf_counter()
     result = run_pipeline(reads, config)
     wall = time.perf_counter() - t0
     print(f"Pipeline wall-clock: {wall:.2f} s "
           f"(executor={config.executor}, workers={args.workers or 'env/1'})")
+    if result.overlap_mode == "blocked":
+        print(f"Blocked overlap mode: {result.n_strips} strips, peak "
+              f"candidate memory "
+              f"{format_bytes(result.peak_candidate_bytes)}")
 
     # 3. Matrix statistics (the quantities of the paper's Tables II-III).
     print(f"\nReliable k-mers: {result.n_kmers:,}")

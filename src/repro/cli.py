@@ -18,7 +18,8 @@ import argparse
 import sys
 
 from .core.contigs import extract_contigs
-from .core.pipeline import PipelineConfig, run_pipeline_from_fasta
+from .core.memory import OVERLAP_MODES, format_bytes, parse_bytes
+from .core.pipeline import STAGES, PipelineConfig, run_pipeline_from_fasta
 from .dsparse.backend import available_backends
 from .exec import available_executors
 from .mpisim.machine import MACHINES
@@ -27,6 +28,27 @@ from .seqs.fasta import write_fasta
 from .seqs.simulator import ErrorModel, ReadSimSpec, simulate_reads
 
 __all__ = ["main", "build_parser"]
+
+
+def _budget_bytes(text: str) -> int:
+    """argparse type for --memory-budget: parse_bytes, must be positive."""
+    try:
+        value = parse_bytes(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be positive, got {text!r}")
+    return value
+
+
+def _strip_count(text: str) -> int:
+    """argparse type for --n-strips: integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"strip count must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,32 +69,54 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--repeat-length", type=int, default=2_000)
     sim.add_argument("--seed", type=int, default=0)
 
+    # argparse defaults come straight from PipelineConfig so the two can
+    # never drift apart (the parity test in tests/test_cli.py pins this).
+    cfg = PipelineConfig()
+
     def add_pipeline_args(p):
         p.add_argument("reads", help="input FASTA")
-        p.add_argument("--k", type=int, default=17)
-        p.add_argument("--nprocs", type=int, default=1,
+        p.add_argument("--k", type=int, default=cfg.k)
+        p.add_argument("--nprocs", type=int, default=cfg.nprocs,
                        help="simulated process count (perfect square)")
         p.add_argument("--align-mode", choices=("xdrop", "chain"),
-                       default="chain")
-        p.add_argument("--fuzz", type=int, default=150)
-        p.add_argument("--depth-hint", type=float, default=20.0)
-        p.add_argument("--error-hint", type=float, default=0.1)
+                       default=cfg.align_mode)
+        p.add_argument("--fuzz", type=int, default=cfg.fuzz)
+        p.add_argument("--depth-hint", type=float, default=cfg.depth_hint)
+        p.add_argument("--error-hint", type=float, default=cfg.error_hint)
         p.add_argument("--machine", choices=sorted(MACHINES), default="cori")
         p.add_argument("--backend", choices=available_backends(),
-                       default="auto",
+                       default=cfg.backend,
                        help="local sparse-kernel backend: 'auto' lowers "
                             "scalar semirings to scipy CSR kernels and "
                             "runs multi-field semirings on the numpy ESC "
                             "reference (results are backend-independent)")
-        p.add_argument("--workers", type=int, default=None,
+        p.add_argument("--workers", type=int, default=cfg.workers,
                        help="parallel workers for the simulated ranks' "
                             "local compute (default: the REPRO_WORKERS "
                             "environment variable, else 1)")
         p.add_argument("--executor", choices=available_executors(),
-                       default="auto",
+                       default=cfg.executor,
                        help="execution engine: 'auto' runs serial for one "
                             "worker and a fork-safe process pool otherwise "
                             "(results are executor-independent)")
+        p.add_argument("--overlap-mode",
+                       choices=("auto",) + OVERLAP_MODES,
+                       default=cfg.overlap_mode,
+                       help="candidate-formation path: 'blocked' strip-"
+                            "mines C = A*At (paper Section VIII) so peak "
+                            "candidate memory drops ~n_strips-fold with "
+                            "byte-identical output; 'auto' honors "
+                            "REPRO_OVERLAP_MODE, else monolithic")
+        p.add_argument("--n-strips", type=_strip_count,
+                       default=cfg.n_strips,
+                       help="explicit strip count for blocked mode "
+                            "(default: derived from --memory-budget, "
+                            "else 4)")
+        p.add_argument("--memory-budget", type=_budget_bytes,
+                       default=cfg.memory_budget, metavar="BYTES",
+                       help="peak candidate-matrix byte budget for blocked "
+                            "mode, e.g. 64M or 2G; the strip scheduler "
+                            "picks the smallest strip count that fits")
 
     asm = sub.add_parser("assemble", help="run the pipeline, write contigs")
     add_pipeline_args(asm)
@@ -105,17 +149,28 @@ def _run(args):
                          depth_hint=args.depth_hint,
                          error_hint=args.error_hint,
                          backend=args.backend,
-                         workers=args.workers, executor=args.executor)
+                         workers=args.workers, executor=args.executor,
+                         overlap_mode=args.overlap_mode,
+                         n_strips=args.n_strips,
+                         memory_budget=args.memory_budget)
     return run_pipeline_from_fasta(args.reads, cfg)
 
 
 def _print_stats(result, machine_name: str) -> None:
     machine = MACHINES[machine_name]
     print(f"reads: {result.n_reads}   reliable k-mers: {result.n_kmers}")
+    if result.overlap_mode == "blocked":
+        print(f"overlap mode: blocked ({result.n_strips} strips)")
     print(f"nnz(C) = {result.nnz_c}  (c = {result.c_density:.1f})")
     print(f"nnz(R) = {result.nnz_r}  (r = {result.r_density:.1f})")
     print(f"nnz(S) = {result.nnz_s}  (s = {result.s_density:.1f}), "
           f"{result.tr_rounds} reduction rounds")
+    peaks = result.peak_bytes
+    if peaks:
+        print("peak live matrix bytes per stage:")
+        for stage in STAGES:
+            if stage in peaks:
+                print(f"  {stage:13s} {format_bytes(peaks[stage]):>12s}")
     print(f"modeled stage times on {machine.name}:")
     for stage, secs in result.modeled_time(machine).items():
         print(f"  {stage:13s} {secs:10.4f} s")

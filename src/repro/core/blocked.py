@@ -12,6 +12,13 @@ each strip is aligned and pruned to its R entries immediately, so at no
 point does more than one strip of candidate entries exist.  The union of
 strip results is bit-identical to the monolithic path (tested), while peak
 candidate-matrix memory drops by ~``n_strips``.
+
+Strips are mutually independent, so they double as coarse-grained work
+units for the shared-memory execution engine (:mod:`repro.exec`): each
+strip runs its SUMMA + alignment against a **private** tracker and timer,
+and the per-strip accounting is merged back in strip order — the ordered
+deterministic reduction that keeps R, the communication records, and the
+peak-memory marks byte-identical for every executor and worker count.
 """
 
 from __future__ import annotations
@@ -22,15 +29,16 @@ import numpy as np
 
 from ..align.xdrop import Scoring
 from ..dsparse.backend import Backend, get_backend
-from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
 from ..dsparse.summa import summa
+from ..exec import Executor, SERIAL
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import block_bounds
-from ..mpisim.tracker import StageTimer
+from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet
+from .memory import coo_nbytes
 from .overlap import AlignmentFilter, align_candidates
-from .semirings import PositionsSemiring
+from .semirings import PositionsSemiring, R_NFIELDS
 
 __all__ = ["BlockedOverlapResult", "candidate_overlaps_blocked"]
 
@@ -50,50 +58,64 @@ class BlockedOverlapResult:
         mark, to compare against ``nnz_c``.
     n_strips:
         Number of strips executed.
+    peak_strip_bytes:
+        Byte size of the largest live candidate strip (measured before the
+        upper-triangle prune — the true expansion peak), as recorded in the
+        timer's ``SpGEMM`` high-water mark.
     """
 
     R: DistMat
     nnz_c: int
     peak_strip_nnz: int
     n_strips: int
+    peak_strip_bytes: int = 0
 
 
-def _column_strip(At: DistMat, lo: int, hi: int) -> DistMat:
-    """Columns ``[lo, hi)`` of a distributed matrix as a narrower DistMat."""
-    grid = At.grid
-    q = grid.q
-    strip_cb = grid.col_bounds(hi - lo)
+def _strip_task(ctx, task):
+    """Executor task: one strip's SUMMA + triangle prune + alignment.
+
+    Runs against a private communicator/timer so strips can execute on any
+    worker; returns the strip's global R entries plus its accounting for
+    the parent to merge in strip order.  The task carries its own narrow
+    ``Aᵀ`` strip (sliced in the parent), so a process pool never ships the
+    full transpose to a worker.
+    """
+    A, reads, k, nprocs, mode, scoring, filt, fuzz, backend = ctx
+    lo, hi, At_strip = task
+    backend = get_backend(backend)
+    tracker = CommTracker(nprocs)
+    comm = SimComm(nprocs, tracker)
+    timer = StageTimer()
+    n = A.shape[0]
+
+    C_strip = summa(A, At_strip, PositionsSemiring(), comm, "SpGEMM", timer,
+                    backend=backend)
+    # The expansion peak: the strip as SUMMA produced it, before pruning.
+    timer.record_peak_bytes(
+        "SpGEMM", coo_nbytes(C_strip.nnz(), C_strip.nfields))
+    # Keep the strict upper triangle in *global* coordinates.
+    q = C_strip.grid.q
     blocks = []
     for i in range(q):
         brow = []
         for j in range(q):
-            c0, c1 = int(strip_cb[j]), int(strip_cb[j + 1])
-            # Global source columns of this strip block.
-            g0, g1 = lo + c0, lo + c1
-            # Collect from the source blocks overlapping [g0, g1).
-            rows, cols, vals = [], [], []
-            for sj in range(q):
-                s0, s1 = int(At.col_bounds[sj]), int(At.col_bounds[sj + 1])
-                o0, o1 = max(g0, s0), min(g1, s1)
-                if o0 >= o1:
-                    continue
-                b = At.blocks[i][sj]
-                gcol = b.col + s0
-                m = (gcol >= o0) & (gcol < o1)
-                rows.append(b.row[m])
-                cols.append(gcol[m] - g0)
-                vals.append(b.vals[m])
-            if rows:
-                brow.append(CooMat(
-                    (int(At.row_bounds[i + 1] - At.row_bounds[i]), c1 - c0),
-                    np.concatenate(rows), np.concatenate(cols),
-                    np.vstack(vals)))
-            else:
-                brow.append(CooMat.empty(
-                    (int(At.row_bounds[i + 1] - At.row_bounds[i]), c1 - c0),
-                    At.nfields))
+            b = C_strip.blocks[i][j]
+            gr = b.row + C_strip.row_bounds[i]
+            gc = b.col + C_strip.col_bounds[j] + lo
+            brow.append(backend.select(b, gr < gc))
         blocks.append(brow)
-    return DistMat((At.shape[0], hi - lo), grid, blocks, At.nfields)
+    C_strip = DistMat(C_strip.shape, C_strip.grid, blocks, C_strip.nfields)
+    strip_nnz = C_strip.nnz()
+
+    # Align and prune this strip immediately (the memory saver): the
+    # aligner works in global row coordinates; shift columns back.
+    shifted = _shift_columns(C_strip, lo, n)
+    R_strip = align_candidates(shifted, reads, k, comm, timer,
+                               mode=mode, scoring=scoring, filt=filt,
+                               fuzz=fuzz)
+    g = R_strip.to_global()
+    coo = (g.row, g.col, g.vals) if g.nnz else None
+    return coo, strip_nnz, timer, tracker
 
 
 def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
@@ -103,68 +125,72 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
                                scoring: Scoring | None = None,
                                filt: AlignmentFilter | None = None,
                                fuzz: int = 100,
-                               backend: Backend | str | None = None
+                               backend: Backend | str | None = None,
+                               executor: Executor | None = None
                                ) -> BlockedOverlapResult:
     """Strip-mined ``C = A·Aᵀ`` with per-strip alignment and pruning.
 
     Parameters mirror :func:`~repro.core.overlap.candidate_overlaps` +
     :func:`~repro.core.overlap.align_candidates`; ``n_strips`` controls the
     peak-memory / latency trade-off (each strip is one Sparse SUMMA over a
-    narrower ``Aᵀ``); ``backend`` selects the local kernels.
+    narrower ``Aᵀ``); ``backend`` selects the local kernels.  ``executor``
+    spreads whole strips over workers — each strip's private accounting is
+    merged back in strip order, so results, communication records, and
+    peak-memory marks are byte-identical for every executor.
     """
     timer = timer if timer is not None else StageTimer()
+    executor = executor if executor is not None else SERIAL
     backend = get_backend(backend)
+    scoring = scoring if scoring is not None else Scoring()
+    filt = filt if filt is not None else AlignmentFilter()
     n = A.shape[0]
     At = A.transpose(backend=backend)
-    strips = block_bounds(n, n_strips)
+    bounds = block_bounds(n, n_strips)
+    spans = [(int(bounds[s]), int(bounds[s + 1])) for s in range(n_strips)
+             if bounds[s] < bounds[s + 1]]
+    # Slice the strips up front and let At go: together the strips hold
+    # exactly At's entries, and each worker only ever receives its own.
+    tasks = [(lo, hi, At.column_slice(lo, hi)) for lo, hi in spans]
+    del At
+
+    ctx = (A, reads, k, comm.nprocs, mode, scoring, filt, fuzz, backend)
+    # Weight by the strip's At entries — the SUMMA flops and downstream
+    # candidate count scale with them, while block_bounds makes the column
+    # widths near-uniform and thus balance-blind under skew.
+    results, _secs = executor.run_timed(
+        _strip_task, tasks, context=ctx,
+        weights=[max(1, strip.nnz()) for _lo, _hi, strip in tasks])
 
     nnz_c = 0
     peak = 0
-    partial_R: list[CooMat] = []
-    for s in range(n_strips):
-        lo, hi = int(strips[s]), int(strips[s + 1])
-        if lo == hi:
-            continue
-        At_strip = _column_strip(At, lo, hi)
-        C_strip = summa(A, At_strip, PositionsSemiring(), comm,
-                        "SpGEMM", timer, backend=backend)
-        # Keep the strict upper triangle in *global* coordinates.
-        q = C_strip.grid.q
-        blocks = []
-        for i in range(q):
-            brow = []
-            for j in range(q):
-                b = C_strip.blocks[i][j]
-                gr = b.row + C_strip.row_bounds[i]
-                gc = b.col + C_strip.col_bounds[j] + lo
-                brow.append(backend.select(b, gr < gc))
-            blocks.append(brow)
-        C_strip = DistMat(C_strip.shape, C_strip.grid, blocks,
-                          C_strip.nfields)
-        strip_nnz = C_strip.nnz()
+    peak_bytes = 0
+    partial_R: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    # Ordered merge: strip order, independent of the execution schedule.
+    for coo, strip_nnz, strip_timer, strip_tracker in results:
         nnz_c += strip_nnz
         peak = max(peak, strip_nnz)
-
-        # Align and prune this strip immediately (the memory saver): the
-        # aligner works in global row coordinates; shift columns back.
-        shifted = _shift_columns(C_strip, lo, n)
-        R_strip = align_candidates(shifted, reads, k, comm, timer,
-                                   mode=mode, scoring=scoring, filt=filt,
-                                   fuzz=fuzz)
-        g = R_strip.to_global()
-        if g.nnz:
-            partial_R.append(g)
+        peak_bytes = max(peak_bytes,
+                         strip_timer.stage_peak_bytes.get("SpGEMM", 0))
+        timer.merge(strip_timer)
+        comm.tracker.merge(strip_tracker)
+        if coo is not None:
+            partial_R.append(coo)
 
     if partial_R:
-        rows = np.concatenate([p.row for p in partial_R])
-        cols = np.concatenate([p.col for p in partial_R])
-        vals = np.vstack([p.vals for p in partial_R])
+        rows = np.concatenate([p[0] for p in partial_R])
+        cols = np.concatenate([p[1] for p in partial_R])
+        vals = np.vstack([p[2] for p in partial_R])
     else:
         rows = cols = np.empty(0, np.int64)
-        vals = np.empty((0, 4), np.int64)
+        vals = np.empty((0, R_NFIELDS), np.int64)
+    # The assembled R is the same matrix as the monolithic path's, so the
+    # Alignment-stage high-water mark must not pretend to be per-strip:
+    # strip-mining shrinks the candidate peak (SpGEMM), never R's.
+    timer.record_peak_bytes("Alignment", coo_nbytes(rows.shape[0], R_NFIELDS))
     R = DistMat.from_coo((n, n), A.grid, rows, cols, vals)
     return BlockedOverlapResult(R=R, nnz_c=nnz_c, peak_strip_nnz=peak,
-                                n_strips=n_strips)
+                                n_strips=n_strips,
+                                peak_strip_bytes=peak_bytes)
 
 
 def _shift_columns(C: DistMat, offset: int, n_cols: int) -> DistMat:

@@ -39,8 +39,9 @@ from ..mpisim.tracker import StageTimer
 from ..seqs.fasta import ReadSet
 from ..seqs.kmer_counter import KmerTable
 from ..seqs.kmers import canonical_kmers, pack_kmers
+from .memory import coo_nbytes
 from .semirings import (A_FLIP, A_POS, C_COUNT, C_PA1, C_PA2, C_PB1, C_PB2,
-                        C_STRAND1, C_STRAND2, PositionsSemiring)
+                        C_STRAND1, C_STRAND2, PositionsSemiring, R_NFIELDS)
 
 __all__ = ["AlignmentFilter", "build_a_matrix", "candidate_overlaps",
            "exchange_reads", "align_candidates"]
@@ -147,6 +148,7 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
             n_dests = int(np.unique(dest[mine][offrank]).shape[0])
             comm.tracker.record(stage, p, n_off * entry_bytes, n_dests)
 
+    timer.record_peak_bytes(stage, coo_nbytes(row.shape[0], vals.shape[1]))
     return DistMat.from_coo((n, m), grid, row, col, vals)
 
 
@@ -167,6 +169,10 @@ def candidate_overlaps(A: DistMat, comm: SimComm,
     At = A.transpose(backend=backend)
     C = summa(A, At, PositionsSemiring(), comm, "SpGEMM", timer,
               backend=backend, executor=executor)
+    # The candidate-matrix high-water mark: the full product as SUMMA
+    # produced it, before the triangle prune (what the blocked mode divides
+    # by its strip count).
+    timer.record_peak_bytes("SpGEMM", coo_nbytes(C.nnz(), C.nfields))
     q = C.grid.q
     rb, cbb = C.row_bounds, C.col_bounds
     blocks = []
@@ -325,5 +331,6 @@ def align_candidates(C: DistMat, reads: ReadSet, k: int, comm: SimComm,
         vals = np.array(val_rows, dtype=np.int64)
     else:
         row = col = np.empty(0, np.int64)
-        vals = np.empty((0, 4), np.int64)
+        vals = np.empty((0, R_NFIELDS), np.int64)
+    timer.record_peak_bytes(stage, coo_nbytes(row.shape[0], R_NFIELDS))
     return DistMat.from_coo((n, n), C.grid, row, col, vals)

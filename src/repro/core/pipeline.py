@@ -31,6 +31,8 @@ from ..mpisim.machine import MachineModel
 from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet, read_fasta
 from ..seqs.kmer_counter import count_kmers, reliable_upper_bound
+from .blocked import candidate_overlaps_blocked
+from .memory import plan_strips, resolve_overlap_mode
 from .overlap import (AlignmentFilter, align_candidates, build_a_matrix,
                       candidate_overlaps, exchange_reads)
 from .string_graph import StringGraph
@@ -64,6 +66,16 @@ class PipelineConfig:
     worker and the process pool otherwise.  Like ``backend``, this is a
     pure performance axis — output is byte-identical for every executor
     and worker count.
+
+    ``overlap_mode`` selects the candidate-formation path: ``"monolithic"``
+    forms all of ``C = A·Aᵀ`` at once, ``"blocked"`` strip-mines it
+    (paper Section VIII) so peak candidate memory drops by ~``n_strips``
+    while S stays byte-identical; ``"auto"`` honors the
+    ``REPRO_OVERLAP_MODE`` environment variable, else runs monolithic.  In
+    blocked mode an explicit ``n_strips`` wins; otherwise ``memory_budget``
+    (bytes the live candidate strip may occupy — see
+    :func:`repro.core.memory.plan_strips`) picks the count from the
+    measured ``nnz(A)`` and the BELLA density model.
     """
 
     k: int = 17
@@ -80,6 +92,9 @@ class PipelineConfig:
     backend: str = "auto"
     workers: int | None = None
     executor: str = "auto"
+    overlap_mode: str = "auto"
+    n_strips: int | None = None
+    memory_budget: int | None = None
 
 
 @dataclass
@@ -98,6 +113,8 @@ class PipelineResult:
     tr_rounds: int
     timer: StageTimer
     tracker: CommTracker
+    overlap_mode: str = "monolithic"
+    n_strips: int = 1
 
     # -- paper statistics ---------------------------------------------------
     @property
@@ -123,6 +140,21 @@ class PipelineResult:
     def inefficiency(self, depth: float) -> float:
         """The overlapper inefficiency factor ``c / 2d`` (Table III)."""
         return self.c_density / (2.0 * depth)
+
+    # -- memory trajectory --------------------------------------------------
+    @property
+    def peak_bytes(self) -> dict[str, int]:
+        """Per-stage live-matrix high-water marks in bytes.
+
+        ``SpGEMM`` is the candidate-matrix peak — the quantity the blocked
+        mode divides by its strip count (Section VIII's memory reduction).
+        """
+        return self.timer.peak_bytes()
+
+    @property
+    def peak_candidate_bytes(self) -> int:
+        """Candidate-matrix (SpGEMM stage) memory high-water mark."""
+        return self.peak_bytes.get("SpGEMM", 0)
 
     # -- modeled runtimes ------------------------------------------------------
     def stage_compute(self) -> dict[str, float]:
@@ -157,6 +189,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     """
     config = config if config is not None else PipelineConfig()
     backend = get_backend(config.backend)
+    overlap_mode = resolve_overlap_mode(config.overlap_mode)
     grid = ProcessGrid2D(config.nprocs)
     tracker = CommTracker(config.nprocs)
     comm = SimComm(config.nprocs, tracker)
@@ -180,11 +213,26 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         # with counting and SpGEMM (paper Section IV-D); accounting order is
         # equivalent.
         exchange_reads(reads, grid, comm)
-        C = candidate_overlaps(A, comm, timer, backend=backend, executor=ex)
-        nnz_c = C.nnz()
-        R = align_candidates(C, reads, config.k, comm, timer,
-                             mode=config.align_mode, scoring=config.scoring,
-                             filt=config.filt, fuzz=config.fuzz, executor=ex)
+        if overlap_mode == "blocked":
+            plan = plan_strips(nnz_a, len(table), len(reads),
+                               memory_budget=config.memory_budget,
+                               n_strips=config.n_strips)
+            blk = candidate_overlaps_blocked(
+                A, reads, config.k, comm, plan.n_strips, timer,
+                mode=config.align_mode, scoring=config.scoring,
+                filt=config.filt, fuzz=config.fuzz, backend=backend,
+                executor=ex)
+            nnz_c, R, n_strips = blk.nnz_c, blk.R, blk.n_strips
+        else:
+            C = candidate_overlaps(A, comm, timer, backend=backend,
+                                   executor=ex)
+            nnz_c = C.nnz()
+            R = align_candidates(C, reads, config.k, comm, timer,
+                                 mode=config.align_mode,
+                                 scoring=config.scoring,
+                                 filt=config.filt, fuzz=config.fuzz,
+                                 executor=ex)
+            n_strips = 1
         nnz_r = R.nnz()
         tr = transitive_reduction(R, comm, timer, fuzz=config.fuzz,
                                   max_rounds=config.max_tr_rounds,
@@ -194,7 +242,8 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         config=config, n_reads=len(reads), n_kmers=len(table),
         string_graph=StringGraph.from_coomat(S_global), S=S_global,
         nnz_a=nnz_a, nnz_c=nnz_c, nnz_r=nnz_r, nnz_s=tr.S.nnz(),
-        tr_rounds=tr.rounds, timer=timer, tracker=tracker)
+        tr_rounds=tr.rounds, timer=timer, tracker=tracker,
+        overlap_mode=overlap_mode, n_strips=n_strips)
 
 
 def run_pipeline_from_fasta(path, config: PipelineConfig | None = None

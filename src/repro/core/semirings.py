@@ -35,9 +35,10 @@ import numpy as np
 from ..dsparse.semiring import INF, Semiring
 
 __all__ = [
-    "A_POS", "A_FLIP",
+    "A_POS", "A_FLIP", "A_NFIELDS",
     "C_COUNT", "C_PA1", "C_PB1", "C_STRAND1", "C_PA2", "C_PB2", "C_STRAND2",
-    "R_SUFFIX", "R_END_I", "R_END_J", "R_OLEN",
+    "C_NFIELDS",
+    "R_SUFFIX", "R_END_I", "R_END_J", "R_OLEN", "R_NFIELDS",
     "n_slot",
     "PositionsSemiring", "BidirectedMinPlus",
 ]
@@ -48,6 +49,14 @@ A_POS, A_FLIP = 0, 1
 C_COUNT, C_PA1, C_PB1, C_STRAND1, C_PA2, C_PB2, C_STRAND2 = range(7)
 # R-matrix fields.
 R_SUFFIX, R_END_I, R_END_J, R_OLEN = range(4)
+
+#: Field counts derived from the layout constants above — the single source
+#: of truth for code that must build empty/estimated matrices of these
+#: types (an ``np.empty((0, 4))`` literal silently desyncs the moment a
+#: field is added to the semiring; these cannot).
+A_NFIELDS = A_FLIP + 1
+C_NFIELDS = C_STRAND2 + 1
+R_NFIELDS = R_OLEN + 1
 
 
 def n_slot(end_i: np.ndarray | int, end_j: np.ndarray | int):

@@ -42,6 +42,7 @@ from ..dsparse.summa import summa
 from ..exec import Executor
 from ..mpisim.comm import SimComm
 from ..mpisim.tracker import StageTimer
+from .memory import coo_nbytes
 from .semirings import BidirectedMinPlus, R_END_I, R_END_J, R_SUFFIX, n_slot
 
 __all__ = ["TransitiveReductionResult", "transitive_reduction"]
@@ -149,6 +150,9 @@ def transitive_reduction(R: DistMat, comm: SimComm,
         rounds += 1
         N = summa(R, R, BidirectedMinPlus(), comm, STAGE, timer,
                   backend=backend, executor=executor)
+        # Live set while masking: the round's R plus its two-hop product N.
+        timer.record_peak_bytes(STAGE, coo_nbytes(prev, R.nfields) +
+                                coo_nbytes(N.nnz(), N.nfields))
         v = reduce_rows(R, R_SUFFIX, np.maximum, 0, comm, STAGE,
                         backend=backend)
         v = v + np.int64(fuzz)

@@ -115,6 +115,52 @@ class DistMat:
         return DistMat((self.shape[1], self.shape[0]), self.grid, blocks,
                        self.nfields)
 
+    def column_slice(self, lo: int, hi: int) -> "DistMat":
+        """Columns ``[lo, hi)`` as a narrower DistMat on the same grid.
+
+        The slice is re-blocked to the grid's balanced bounds for its new
+        width — each destination block gathers from the source blocks its
+        global column range overlaps (on a real grid, a block-row-local
+        exchange).  This is the strip extraction of the blocked overlap
+        mode: ``C[:, lo:hi] = A · Aᵀ.column_slice(lo, hi)``.
+        """
+        if not 0 <= lo <= hi <= self.shape[1]:
+            raise ValueError(f"column slice [{lo}, {hi}) out of range for "
+                             f"{self.shape[1]} columns")
+        q = self.grid.q
+        strip_cb = self.grid.col_bounds(hi - lo)
+        blocks: list[list[CooMat]] = []
+        for i in range(q):
+            n_rows = int(self.row_bounds[i + 1] - self.row_bounds[i])
+            brow: list[CooMat] = []
+            for j in range(q):
+                c0, c1 = int(strip_cb[j]), int(strip_cb[j + 1])
+                # Global source columns of this destination block.
+                g0, g1 = lo + c0, lo + c1
+                rows, cols, vals = [], [], []
+                for sj in range(q):
+                    s0 = int(self.col_bounds[sj])
+                    s1 = int(self.col_bounds[sj + 1])
+                    o0, o1 = max(g0, s0), min(g1, s1)
+                    if o0 >= o1:
+                        continue
+                    b = self.blocks[i][sj]
+                    gcol = b.col + s0
+                    m = (gcol >= o0) & (gcol < o1)
+                    rows.append(b.row[m])
+                    cols.append(gcol[m] - g0)
+                    vals.append(b.vals[m])
+                if rows:
+                    brow.append(CooMat((n_rows, c1 - c0),
+                                       np.concatenate(rows),
+                                       np.concatenate(cols),
+                                       np.vstack(vals)))
+                else:
+                    brow.append(CooMat.empty((n_rows, c1 - c0), self.nfields))
+            blocks.append(brow)
+        return DistMat((self.shape[0], hi - lo), self.grid, blocks,
+                       self.nfields)
+
     def copy(self) -> "DistMat":
         q = self.grid.q
         blocks = [[CooMat(self.blocks[i][j].shape,

@@ -26,19 +26,32 @@ __all__ = ["to_2d_grid", "to_block_rows"]
 
 def to_2d_grid(parts: list[CooMat], shape: tuple[int, int],
                grid: ProcessGrid2D, comm: SimComm,
-               stage: str = "Redistribute") -> DistMat:
+               stage: str = "Redistribute",
+               nfields: int | None = None) -> DistMat:
     """Convert 1D block-row pieces into a 2D grid distribution.
 
     ``parts[p]`` holds rank p's block of rows in *local* coordinates (its
     global row offset is the balanced 1D bound).  Every entry is routed to
     the 2D owner of its (row, col); off-rank routing is charged as an
     alltoallv under ``stage``.
+
+    ``nfields`` fixes the value-field count explicitly; when omitted it is
+    inferred from the parts themselves — including empty ones, so an
+    all-empty 4-field input yields a 4-field (not 1-field) matrix.
     """
     P = comm.nprocs
     if len(parts) != P:
         raise ValueError("one part per rank required")
     bounds = block_bounds(shape[0], P)
-    nfields = max((p.nfields for p in parts if p.nnz), default=1)
+    if nfields is None:
+        nfields = max((p.nfields for p in parts if p.nnz),
+                      default=max((p.nfields for p in parts), default=1))
+    else:
+        nfields = int(nfields)
+        bad = [p.nfields for p in parts if p.nnz and p.nfields != nfields]
+        if bad:
+            raise ValueError(f"parts carry {bad[0]} value fields, caller "
+                             f"requested {nfields}")
     rb = grid.row_bounds(shape[0])
     cb = grid.col_bounds(shape[1])
 

@@ -74,6 +74,24 @@ class CommTracker:
             return 0.0
         return machine.comm_time(rec.max_bytes, rec.max_messages)
 
+    def merge(self, other: "CommTracker") -> None:
+        """Fold another tracker's records into this one (rank-wise sums).
+
+        The blocked overlap mode runs each strip against a private tracker
+        (so strips can execute on any :class:`~repro.exec.Executor`) and
+        merges them back in strip order — making the accumulated records
+        independent of how the strips were scheduled.
+        """
+        if other.nprocs != self.nprocs:
+            raise ValueError(f"cannot merge trackers of {other.nprocs} and "
+                             f"{self.nprocs} ranks")
+        for stage, rec in other.records.items():
+            mine = self.records.get(stage)
+            if mine is None:
+                mine = self.records[stage] = CommRecord(self.nprocs)
+            mine.bytes_per_rank += rec.bytes_per_rank
+            mine.messages_per_rank += rec.messages_per_rank
+
     def words(self, stage: str, word_bytes: int = 8) -> float:
         """Max per-rank word count for a stage (Table I's ``W``)."""
         rec = self.records.get(stage)
@@ -112,11 +130,20 @@ class StageTimer:
     On superstep exit, ``max`` over per-rank durations is added to the
     stage's accumulated time.  :meth:`add` allows direct charging (e.g., for
     modeled components).
+
+    The timer also tracks per-stage **live-matrix high-water marks**
+    (:meth:`record_peak_bytes`): stages report the byte size of the largest
+    matrix state they held at once, and the maximum per stage survives —
+    the memory trajectory the paper's Section VIII memory-reduction plan
+    targets.  Peaks follow the serial schedule's semantics: the blocked
+    overlap mode records one strip at a time, so its SpGEMM peak is the
+    largest single strip, not the whole candidate matrix.
     """
 
     def __init__(self) -> None:
         self.stage_seconds: dict[str, float] = defaultdict(float)
         self.stage_supersteps: dict[str, int] = defaultdict(int)
+        self.stage_peak_bytes: dict[str, int] = {}
 
     @contextmanager
     def superstep(self, stage: str):
@@ -127,6 +154,30 @@ class StageTimer:
 
     def add(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] += seconds
+
+    def record_peak_bytes(self, stage: str, n_bytes: int) -> None:
+        """Record live matrix bytes observed during ``stage`` (max wins)."""
+        n_bytes = int(n_bytes)
+        if n_bytes > self.stage_peak_bytes.get(stage, 0):
+            self.stage_peak_bytes[stage] = n_bytes
+
+    def peak_bytes(self) -> dict[str, int]:
+        """Per-stage live-matrix high-water marks, in bytes."""
+        return dict(self.stage_peak_bytes)
+
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another timer in: seconds/supersteps add, peaks take max.
+
+        Counterpart of :meth:`CommTracker.merge` for the blocked mode's
+        per-strip private timers; merging in strip order reproduces the
+        serial schedule's accumulation.
+        """
+        for stage, secs in other.stage_seconds.items():
+            self.stage_seconds[stage] += secs
+        for stage, count in other.stage_supersteps.items():
+            self.stage_supersteps[stage] += count
+        for stage, peak in other.stage_peak_bytes.items():
+            self.record_peak_bytes(stage, peak)
 
     def total(self) -> float:
         return float(sum(self.stage_seconds.values()))

@@ -4,8 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.blocked import candidate_overlaps_blocked
-from repro.core.overlap import align_candidates, build_a_matrix, \
-    candidate_overlaps
+from repro.core.memory import coo_nbytes
+from repro.core.overlap import AlignmentFilter, align_candidates, \
+    build_a_matrix, candidate_overlaps
+from repro.core.semirings import R_NFIELDS
+from repro.core.transitive_reduction import transitive_reduction
 from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
 from repro.seqs.kmer_counter import count_kmers
 
@@ -64,6 +67,86 @@ def test_blocked_single_strip_equals_candidate_overlaps(clean_dataset):
     res = candidate_overlaps_blocked(A, reads, 17, comm, 1, timer,
                                      mode="chain", fuzz=20)
     assert res.peak_strip_nnz == res.nnz_c
+
+
+def test_blocked_records_strip_peak_bytes(clean_dataset):
+    """The timer's SpGEMM high-water mark is the largest live strip."""
+    _genome, reads, _layout = clean_dataset
+    A, comm, timer = _setup(reads)
+    t1, t4 = StageTimer(), StageTimer()
+    res1 = candidate_overlaps_blocked(A, reads, 17, comm, 1, t1,
+                                      mode="chain", fuzz=20)
+    res4 = candidate_overlaps_blocked(A, reads, 17, comm, 4, t4,
+                                      mode="chain", fuzz=20)
+    assert res1.peak_strip_bytes == t1.peak_bytes()["SpGEMM"]
+    assert res4.peak_strip_bytes == t4.peak_bytes()["SpGEMM"]
+    # Four strips cut the recorded live-bytes peak by ~4 (3x slack for skew).
+    assert res4.peak_strip_bytes < res1.peak_strip_bytes / 4 * 3
+    # The recorded peak covers the pre-prune expansion, so it is at least
+    # the post-prune strip payload.
+    assert res4.peak_strip_bytes >= coo_nbytes(res4.peak_strip_nnz, 7)
+
+
+def test_blocked_empty_r_keeps_semiring_field_count(clean_dataset):
+    """Zero surviving overlaps must still yield an R_NFIELDS-field R.
+
+    Regression: the empty-R branch used to hardcode ``np.empty((0, 4))``,
+    silently desyncing from the R semiring layout if a field were added.
+    A filter nothing can pass forces every strip (and the monolithic
+    aligner) to produce an empty R.
+    """
+    _genome, reads, _layout = clean_dataset
+    A, comm, timer = _setup(reads)
+    impossible = AlignmentFilter(min_overlap=10**9)
+    res = candidate_overlaps_blocked(A, reads, 17, comm, 3, timer,
+                                     mode="chain", fuzz=20, filt=impossible)
+    assert res.R.nnz() == 0
+    assert res.nnz_c > 0                      # candidates existed...
+    assert res.R.nfields == R_NFIELDS         # ...but R stayed well-typed
+    g = res.R.to_global()
+    assert g.vals.shape == (0, R_NFIELDS)
+    # The empty R must remain consumable downstream.
+    tr = transitive_reduction(res.R, comm, timer, fuzz=20)
+    assert tr.S.nnz() == 0
+
+    # Same guarantee on the monolithic path's empty branch.
+    C = candidate_overlaps(A, comm, timer)
+    R = align_candidates(C, reads, 17, comm, timer, mode="chain", fuzz=20,
+                         filt=impossible)
+    assert R.nnz() == 0
+    assert R.to_global().vals.shape == (0, R_NFIELDS)
+
+
+@pytest.mark.parametrize("executor,workers", [("thread", 2), ("process", 2)])
+def test_blocked_parallel_strips_identical(clean_dataset, executor, workers):
+    """Strips on a pool: R, tracker records, and peaks match serial."""
+    from repro.exec import get_executor
+    _genome, reads, _layout = clean_dataset
+    A, comm, timer = _setup(reads, P=4)
+    res_ref = candidate_overlaps_blocked(A, reads, 17, comm, 4, timer,
+                                         mode="chain", fuzz=20)
+    ref_tracker = CommTracker(4)
+    comm_ref = SimComm(4, ref_tracker)
+    timer_ref = StageTimer()
+    res_serial = candidate_overlaps_blocked(A, reads, 17, comm_ref, 4,
+                                            timer_ref, mode="chain", fuzz=20)
+    par_tracker = CommTracker(4)
+    comm_par = SimComm(4, par_tracker)
+    timer_par = StageTimer()
+    with get_executor(executor, workers) as ex:
+        res_par = candidate_overlaps_blocked(A, reads, 17, comm_par, 4,
+                                             timer_par, mode="chain",
+                                             fuzz=20, executor=ex)
+    ref, par = res_serial.R.to_global(), res_par.R.to_global()
+    assert np.array_equal(par.row, ref.row)
+    assert np.array_equal(par.col, ref.col)
+    assert np.array_equal(par.vals, ref.vals)
+    assert res_par.nnz_c == res_serial.nnz_c == res_ref.nnz_c
+    assert res_par.peak_strip_nnz == res_serial.peak_strip_nnz
+    assert res_par.peak_strip_bytes == res_serial.peak_strip_bytes
+    assert par_tracker.summary() == ref_tracker.summary()
+    assert timer_par.peak_bytes() == timer_ref.peak_bytes()
+    assert timer_par.stage_supersteps == timer_ref.stage_supersteps
 
 
 def test_blocked_more_strips_than_reads_ok():

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.pipeline import PipelineConfig
 
 
 def test_simulate_writes_fasta(tmp_path, capsys):
@@ -45,6 +46,21 @@ def test_stats_command(tmp_path, capsys):
     assert "TrReduction" in out
 
 
+def test_stats_blocked_mode(tmp_path, capsys):
+    reads = tmp_path / "reads.fa"
+    main(["simulate", str(reads), "--genome-length", "6000",
+          "--depth", "8", "--error-rate", "0.0", "--seed", "2"])
+    rc = main(["stats", str(reads), "--nprocs", "4", "--fuzz", "20",
+               "--align-mode", "chain", "--depth-hint", "8",
+               "--error-hint", "0.0", "--overlap-mode", "blocked",
+               "--n-strips", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "overlap mode: blocked (3 strips)" in out
+    assert "peak live matrix bytes per stage:" in out
+    assert "SpGEMM" in out
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
@@ -53,4 +69,47 @@ def test_parser_rejects_unknown_command():
 def test_parser_defaults():
     args = build_parser().parse_args(["assemble", "x.fa"])
     assert args.k == 17 and args.nprocs == 1
-    assert args.align_mode == "chain"
+    assert args.align_mode == "xdrop"  # the PipelineConfig default
+
+
+def test_parser_defaults_match_pipeline_config():
+    """One source of truth: argparse defaults are PipelineConfig's.
+
+    Regression: the CLI had drifted to depth_hint 20 (config: 30),
+    error_hint 0.1 (config: 0.15), and align_mode 'chain' (config:
+    'xdrop'); now every shared knob reads its default from the config
+    dataclass, so drift is structurally impossible.
+    """
+    cfg = PipelineConfig()
+    for command in ("assemble", "stats"):
+        args = build_parser().parse_args([command, "x.fa"])
+        assert args.k == cfg.k
+        assert args.nprocs == cfg.nprocs
+        assert args.align_mode == cfg.align_mode
+        assert args.fuzz == cfg.fuzz
+        assert args.depth_hint == cfg.depth_hint
+        assert args.error_hint == cfg.error_hint
+        assert args.backend == cfg.backend
+        assert args.workers == cfg.workers
+        assert args.executor == cfg.executor
+        assert args.overlap_mode == cfg.overlap_mode
+        assert args.n_strips == cfg.n_strips
+        assert args.memory_budget == cfg.memory_budget
+
+
+def test_parser_memory_budget_suffixes():
+    args = build_parser().parse_args(
+        ["stats", "x.fa", "--memory-budget", "64M"])
+    assert args.memory_budget == 64 * 2**20
+    args = build_parser().parse_args(
+        ["stats", "x.fa", "--memory-budget", "123456"])
+    assert args.memory_budget == 123456
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["stats", "x.fa", "--memory-budget", "lots"])
+    # Nonpositive values die at the parser, not deep inside run_pipeline.
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["stats", "x.fa", "--memory-budget", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["stats", "x.fa", "--n-strips", "0"])

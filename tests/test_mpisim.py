@@ -182,3 +182,49 @@ def test_machine_models():
     assert SUMMIT_CPU.cores_per_node == 42
     assert CORI_HASWELL.nodes_for(64, ranks_per_node=32) == 2.0
     assert CORI_HASWELL.nodes_for(1) == 1.0
+
+
+# -- peak-byte accounting and merge (the blocked mode's accounting seam) ----
+
+def test_stage_timer_peak_bytes_max_wins():
+    t = StageTimer()
+    assert t.peak_bytes() == {}
+    t.record_peak_bytes("SpGEMM", 100)
+    t.record_peak_bytes("SpGEMM", 40)       # smaller: ignored
+    t.record_peak_bytes("SpGEMM", 250)
+    t.record_peak_bytes("Alignment", 7)
+    assert t.peak_bytes() == {"SpGEMM": 250, "Alignment": 7}
+
+
+def test_stage_timer_merge():
+    a, b = StageTimer(), StageTimer()
+    a.add("SpGEMM", 1.0)
+    a.record_peak_bytes("SpGEMM", 100)
+    a.stage_supersteps["SpGEMM"] += 2
+    b.add("SpGEMM", 0.5)
+    b.add("Alignment", 2.0)
+    b.record_peak_bytes("SpGEMM", 300)
+    b.stage_supersteps["SpGEMM"] += 1
+    a.merge(b)
+    assert a.stage_seconds["SpGEMM"] == pytest.approx(1.5)
+    assert a.stage_seconds["Alignment"] == pytest.approx(2.0)
+    assert a.stage_supersteps["SpGEMM"] == 3
+    assert a.peak_bytes()["SpGEMM"] == 300  # max, not sum
+
+
+def test_comm_tracker_merge_sums_per_rank():
+    a, b = CommTracker(4), CommTracker(4)
+    a.record("S", 0, 100, 2)
+    b.record("S", 0, 50, 1)
+    b.record("S", 3, 10, 1)
+    b.record("T", 1, 7, 1)
+    a.merge(b)
+    assert a.records["S"].bytes_per_rank[0] == 150
+    assert a.records["S"].messages_per_rank[0] == 3
+    assert a.records["S"].bytes_per_rank[3] == 10
+    assert a.records["T"].bytes_per_rank[1] == 7
+
+
+def test_comm_tracker_merge_rejects_size_mismatch():
+    with pytest.raises(ValueError):
+        CommTracker(4).merge(CommTracker(9))

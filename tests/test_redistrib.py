@@ -79,6 +79,52 @@ def test_empty_matrix():
     assert all(b.nnz == 0 for b in back)
 
 
+def test_all_empty_parts_keep_field_count():
+    """Regression: all-empty 4-field parts used to collapse to 1 field.
+
+    ``nfields`` was inferred only from parts with nonzeros, so an empty
+    read set (or an empty strip) silently turned a 4-field matrix into a
+    1-field one.  Empty parts carry their field count; explicit ``nfields``
+    pins it regardless.
+    """
+    P = 4
+    bounds = block_bounds(10, P)
+    parts = [CooMat.empty((int(bounds[p + 1] - bounds[p]), 10), 4)
+             for p in range(P)]
+    comm = SimComm(P, CommTracker(P))
+
+    # Inference now sees the empty parts' own field counts.
+    D = to_2d_grid(parts, (10, 10), ProcessGrid2D(P), comm)
+    assert D.nnz() == 0
+    assert D.nfields == 4
+
+    # The explicit argument pins it unconditionally.
+    D = to_2d_grid(parts, (10, 10), ProcessGrid2D(P), comm, nfields=4)
+    assert D.nfields == 4
+    for b in to_block_rows(D, comm):
+        assert b.nfields == 4
+
+
+def test_explicit_nfields_roundtrip():
+    rng = np.random.default_rng(7)
+    P = 4
+    shape = (22, 17)
+    G, parts = _random_parts(rng, shape, P)
+    comm = SimComm(P, CommTracker(P))
+    D = to_2d_grid(parts, shape, ProcessGrid2D(P), comm, nfields=2)
+    back = D.to_global()
+    assert np.array_equal(back.vals, G.vals)
+
+
+def test_explicit_nfields_mismatch_rejected():
+    rng = np.random.default_rng(8)
+    P = 4
+    _G, parts = _random_parts(rng, (20, 20), P)  # 2-field parts
+    comm = SimComm(P, CommTracker(P))
+    with pytest.raises(ValueError):
+        to_2d_grid(parts, (20, 20), ProcessGrid2D(P), comm, nfields=3)
+
+
 def test_part_count_validation():
     comm = SimComm(4, CommTracker(4))
     with pytest.raises(ValueError):
