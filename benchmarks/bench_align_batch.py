@@ -1,0 +1,123 @@
+"""Alignment-stage wall-clock: per-pair loop vs batched SoA engine.
+
+The pipeline's hottest stage is the seed-and-extend x-drop alignment of
+every C nonzero (paper Section IV-D; our e2e bench spends most of its
+serial runtime there).  This micro-benchmark isolates that stage on the e2e
+bench dataset: it forms the candidate matrix once, then times
+``align_candidates`` under ``align_impl="loop"`` (one Python dispatch per
+pair — the reference oracle) against ``align_impl="batch"`` (one vectorized
+lockstep sweep per nnz-weighted chunk of pairs), for both alignment modes.
+
+Beyond the timing table it asserts the engines' byte-identity contract and
+writes ``BENCH_align.json`` at the repo root for the cross-PR perf record.
+
+Acceptance gate: the batch engine must be ≥ ``MIN_ALIGN_SPEEDUP``× faster
+than the loop engine in x-drop mode.  The comparison is serial-vs-serial on
+one core, so the gate holds on any host; ``REPRO_BENCH_MIN_ALIGN_SPEEDUP``
+overrides the threshold (``0`` records without gating).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.overlap import (align_candidates, build_a_matrix,
+                                candidate_overlaps)
+from repro.eval.report import format_table
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
+from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
+from repro.seqs.kmer_counter import count_kmers, reliable_upper_bound
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_align.json"
+
+#: Same simulated dataset as bench_pipeline_e2e.py, so the stage numbers
+#: here decompose the end-to-end record.
+GENOME_LENGTH = 12_000
+DEPTH = 12
+ERROR_RATE = 0.05
+K = 17
+NPROCS = 4
+
+#: The PR's acceptance gate: batch vs loop in x-drop mode, serial, 1 core.
+MIN_ALIGN_SPEEDUP = 3.0
+
+
+def _candidates():
+    _genome, reads, _layout = simulate_reads(
+        ReadSimSpec(GenomeSpec(length=GENOME_LENGTH, seed=42),
+                    depth=DEPTH, mean_len=800, min_len=400,
+                    error=ErrorModel(rate=ERROR_RATE), seed=1))
+    comm = SimComm(NPROCS, CommTracker(NPROCS))
+    grid = ProcessGrid2D(NPROCS)
+    timer = StageTimer()
+    upper = reliable_upper_bound(DEPTH, ERROR_RATE, K)
+    table = count_kmers(reads, K, comm, timer, upper=upper)
+    A = build_a_matrix(reads, table, grid, comm, timer)
+    C = candidate_overlaps(A, comm, timer)
+    return reads, C, comm
+
+
+def test_align_batch_speedup(benchmark):
+    reads, C, comm = _candidates()
+
+    def run():
+        walls: dict[tuple[str, str], float] = {}
+        results: dict[tuple[str, str], object] = {}
+        for mode in ("xdrop", "chain"):
+            for impl in ("loop", "batch"):
+                t0 = time.perf_counter()
+                R = align_candidates(C, reads, K, comm, StageTimer(),
+                                     mode=mode, impl=impl)
+                walls[(mode, impl)] = time.perf_counter() - t0
+                results[(mode, impl)] = R.to_global()
+        return walls, results
+
+    walls, results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record = {
+        "bench": "align_batch",
+        "dataset": {"genome_length": GENOME_LENGTH, "depth": DEPTH,
+                    "error_rate": ERROR_RATE, "n_reads": len(reads),
+                    "nnz_c": C.nnz(), "k": K, "nprocs": NPROCS},
+        "modes": {},
+    }
+    rows = []
+    for mode in ("xdrop", "chain"):
+        gl = results[(mode, "loop")]
+        gb = results[(mode, "batch")]
+        identical = (np.array_equal(gl.row, gb.row) and
+                     np.array_equal(gl.col, gb.col) and
+                     np.array_equal(gl.vals, gb.vals))
+        assert identical, f"{mode}: batch R diverged from loop R"
+        speedup = walls[(mode, "loop")] / max(walls[(mode, "batch")], 1e-9)
+        rows.append({"mode": mode,
+                     "loop (s)": f"{walls[(mode, 'loop')]:.2f}",
+                     "batch (s)": f"{walls[(mode, 'batch')]:.2f}",
+                     "speedup": f"{speedup:.2f}x",
+                     "byte-identical": "yes"})
+        record["modes"][mode] = {
+            "loop_seconds": round(walls[(mode, "loop")], 4),
+            "batch_seconds": round(walls[(mode, "batch")], 4),
+            "speedup": round(speedup, 3),
+            "nnz_r": int(gb.nnz),
+            "identical_to_loop": True,
+        }
+
+    print(format_table(rows, title=(
+        f"Alignment stage: loop vs batch engine ({len(reads)} reads, "
+        f"{C.nnz()} candidate pairs, serial)")))
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {JSON_PATH.name} (xdrop speedup "
+          f"{record['modes']['xdrop']['speedup']:.2f}x)")
+
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_ALIGN_SPEEDUP",
+                                       str(MIN_ALIGN_SPEEDUP)))
+    if min_speedup > 0.0:
+        got = record["modes"]["xdrop"]["speedup"]
+        assert got >= min_speedup, (
+            f"expected >= {min_speedup}x alignment speedup (batch vs loop, "
+            f"x-drop mode), measured {got:.2f}x")

@@ -18,6 +18,7 @@ import argparse
 import time
 
 from repro import CORI_HASWELL, PipelineConfig, extract_contigs, run_pipeline
+from repro.align.batch import ALIGN_IMPLS
 from repro.core.memory import OVERLAP_MODES, format_bytes, parse_bytes
 from repro.exec import available_executors
 from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
@@ -37,6 +38,16 @@ def main() -> None:
                     metavar="BYTES",
                     help="candidate-matrix byte budget (e.g. 64M); implies "
                          "strip scheduling in blocked mode")
+    ap.add_argument("--align-mode", choices=("xdrop", "chain"),
+                    default="chain",
+                    help="'chain' (default here, for a fast demo) is the "
+                         "alignment-free estimate; 'xdrop' runs real banded "
+                         "alignments — affordable via the batched engine")
+    ap.add_argument("--align-impl", choices=("auto",) + ALIGN_IMPLS,
+                    default="auto",
+                    help="alignment engine: 'batch' sweeps whole chunks of "
+                         "candidate pairs per kernel call, 'loop' is the "
+                         "per-pair reference — identical output")
     args = ap.parse_args()
     # 1. Simulate a 30 kb genome at 15x depth with 5% CLR-style errors.
     genome, reads, layout = simulate_reads(
@@ -47,11 +58,13 @@ def main() -> None:
     print(f"Simulated {len(reads)} reads / {reads.total_bases():,} bases "
           f"over a {genome.shape[0]:,} bp genome")
 
-    # 2. Run the pipeline on a 2x2 simulated process grid.  x-drop mode runs
-    #    real banded alignments; 'chain' is the fast alignment-free mode.
-    #    --workers spreads the per-rank compute over real cores (same
-    #    output, smaller wall-clock).
-    config = PipelineConfig(k=17, nprocs=4, align_mode="chain",
+    # 2. Run the pipeline on a 2x2 simulated process grid.  --align-mode
+    #    xdrop runs real banded alignments (the batched engine extends all
+    #    candidate pairs in lockstep kernel sweeps, ~an order of magnitude
+    #    faster than per-pair dispatch); --workers spreads the per-rank
+    #    compute over real cores (same output, smaller wall-clock).
+    config = PipelineConfig(k=17, nprocs=4, align_mode=args.align_mode,
+                            align_impl=args.align_impl,
                             depth_hint=15, error_hint=0.05,
                             workers=args.workers, executor=args.executor,
                             overlap_mode=args.overlap_mode,
@@ -60,7 +73,8 @@ def main() -> None:
     result = run_pipeline(reads, config)
     wall = time.perf_counter() - t0
     print(f"Pipeline wall-clock: {wall:.2f} s "
-          f"(executor={config.executor}, workers={args.workers or 'env/1'})")
+          f"(executor={config.executor}, workers={args.workers or 'env/1'}, "
+          f"align={config.align_mode}/{result.align_impl})")
     if result.overlap_mode == "blocked":
         print(f"Blocked overlap mode: {result.n_strips} strips, peak "
               f"candidate memory "

@@ -31,6 +31,10 @@ def main(argv: list[str]) -> None:
                     help="comma-separated simulated process counts")
     ap.add_argument("--workers", type=int, default=None,
                     help="real parallel workers (default: REPRO_WORKERS)")
+    ap.add_argument("--align-mode", choices=("xdrop", "chain"),
+                    default="chain",
+                    help="'xdrop' runs real banded alignments per candidate "
+                         "pair via the batched engine")
     args = ap.parse_args(argv[1:])
     workers = args.workers
     preset_name = args.preset
@@ -41,7 +45,7 @@ def main(argv: list[str]) -> None:
 
     results = []
     for P in procs:
-        cfg = PipelineConfig(k=17, nprocs=P, align_mode="chain",
+        cfg = PipelineConfig(k=17, nprocs=P, align_mode=args.align_mode,
                              depth_hint=preset.depth,
                              error_hint=preset.error_rate,
                              workers=workers)

@@ -29,9 +29,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .xdrop import AlignmentResult
 
-__all__ = ["OverlapClass", "classify_overlap"]
+__all__ = ["OverlapClass", "classify_overlap", "classify_overlap_batch"]
 
 B_END = 0
 E_END = 1
@@ -111,3 +113,45 @@ def classify_overlap(len_i: int, len_j: int, aln: AlignmentResult,
         return OverlapClass("dovetail", suffix_ij, suffix_ji, end_i, end_j,
                             overlap_len)
     return OverlapClass("internal", overlap_len=overlap_len)
+
+
+def classify_overlap_batch(len_i: np.ndarray, len_j: np.ndarray,
+                           ba: np.ndarray, ea: np.ndarray, bb: np.ndarray,
+                           eb: np.ndarray, strand: np.ndarray, fuzz: int
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`classify_overlap` over alignment-coordinate columns.
+
+    Same decision tree as the scalar version — containment first (shorter
+    read wins near-equal pairs), then the two dovetail orderings with the
+    ``i sticks out left`` branch taking precedence on ties — evaluated as
+    pure column operations.  Returns
+    ``(dovetail, suffix_ij, suffix_ji, end_i, end_j, overlap_len)`` arrays;
+    the suffix/end columns are only meaningful where ``dovetail`` is true
+    (contained and internal overlaps are discarded by the caller either way).
+    """
+    left_i = ba
+    right_i = len_i - ea
+    left_j = bb
+    right_j = len_j - eb
+    overlap_len = ea - ba
+
+    contained = ((left_i <= fuzz) & (right_i <= fuzz)) | \
+                ((left_j <= fuzz) & (right_j <= fuzz))
+    first_i = ~contained & (left_i >= left_j) & (right_j >= right_i)
+    dove_i = first_i & ~((left_j > fuzz) | (right_i > fuzz))
+    first_j = ~contained & ~first_i & (left_j >= left_i) & \
+        (right_i >= right_j)
+    dove_j = first_j & ~((left_i > fuzz) | (right_j > fuzz))
+    dovetail = dove_i | dove_j
+
+    one = np.int64(1)
+    suffix_ij = np.where(dove_i, np.maximum(one, right_j - right_i),
+                         np.maximum(one, left_j - left_i))
+    suffix_ji = np.where(dove_i, np.maximum(one, left_i - left_j),
+                         np.maximum(one, right_i - right_j))
+    end_i = np.where(dove_i, np.int64(E_END), np.int64(B_END))
+    end_j = np.where(strand == 0,
+                     np.where(dove_i, np.int64(B_END), np.int64(E_END)),
+                     np.where(dove_i, np.int64(E_END), np.int64(B_END)))
+    return dovetail, suffix_ij, suffix_ji, end_i, end_j, overlap_len

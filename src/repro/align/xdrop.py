@@ -23,9 +23,18 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["Scoring", "AlignmentResult", "xdrop_extend", "xdrop_extend_dp",
-           "seed_extend_align", "chain_extend"]
+           "seed_extend_align", "chain_extend", "LV_NEG", "SNAKE_CHUNK"]
 
 _NEG = np.int64(-(2 ** 40))
+
+#: "Dead cell" sentinel of the greedy LV engines: far below any reachable
+#: furthest point or match count, far above int64 overflow even after the
+#: recurrence adds small offsets.  Shared with the batched 2D engine
+#: (:mod:`repro.align.batch`) so both prune on identical values.
+LV_NEG = np.int64(-(2 ** 50))
+
+#: Characters compared per snake-slide gulp (both engines).
+SNAKE_CHUNK = 16
 
 
 @dataclass(frozen=True)
@@ -74,29 +83,26 @@ def xdrop_extend(s: np.ndarray, t: np.ndarray, sc: Scoring
     return _xdrop_extend_lv(s, t, sc)
 
 
-_SNAKE_CHUNK = 16
-
-
 def _slide_snakes(s: np.ndarray, t: np.ndarray, F: np.ndarray,
                   diag: np.ndarray, live: np.ndarray) -> np.ndarray:
     """Advance furthest points along exact-match runs, vectorized.
 
     ``F[d]`` is the furthest ``i`` on diagonal ``diag[d]`` (``j = i - diag``).
-    Compares ``_SNAKE_CHUNK`` characters at a time for all live diagonals;
+    Compares ``SNAKE_CHUNK`` characters at a time for all live diagonals;
     only diagonals that matched a full chunk iterate again, so the expected
     number of rounds is the longest snake / chunk.
     """
     m, n = s.shape[0], t.shape[0]
     ext = np.zeros_like(F)
     active = live.copy()
-    offs = np.arange(_SNAKE_CHUNK, dtype=np.int64)
+    offs = np.arange(SNAKE_CHUNK, dtype=np.int64)
     while active.any():
         idx = np.flatnonzero(active)
         i0 = F[idx] + ext[idx]
         j0 = i0 - diag[idx]
         # Remaining run room on each diagonal.
         room = np.minimum(m - i0, n - j0)
-        cap = np.minimum(room, _SNAKE_CHUNK)
+        cap = np.minimum(room, SNAKE_CHUNK)
         si = np.minimum(i0[:, None] + offs, m - 1)
         tj = np.minimum(j0[:, None] + offs, n - 1)
         eq = (s[si] == t[tj]) & (offs < cap[:, None])
@@ -107,7 +113,7 @@ def _slide_snakes(s: np.ndarray, t: np.ndarray, F: np.ndarray,
         # argmin on an all-False row returns 0, which is correct (no match).
         run = np.where(cap > 0, run, 0)
         ext[idx] += run
-        cont = (run == _SNAKE_CHUNK) & (room > _SNAKE_CHUNK)
+        cont = (run == SNAKE_CHUNK) & (room > SNAKE_CHUNK)
         active[:] = False
         active[idx[cont]] = True
     return ext
@@ -119,7 +125,7 @@ def _xdrop_extend_lv(s: np.ndarray, t: np.ndarray, sc: Scoring
     m, n = int(s.shape[0]), int(t.shape[0])
     if m == 0 or n == 0:
         return 0, 0, 0
-    NEG = np.int64(-(2 ** 50))
+    NEG = LV_NEG
     # Diagonal window [dlo, dhi] (d = i - j), arrays indexed d - dlo.
     dlo = dhi = 0
     F = np.array([0], dtype=np.int64)      # furthest i per diagonal

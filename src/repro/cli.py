@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .align.batch import ALIGN_IMPLS
 from .core.contigs import extract_contigs
 from .core.memory import OVERLAP_MODES, format_bytes, parse_bytes
 from .core.pipeline import STAGES, PipelineConfig, run_pipeline_from_fasta
@@ -80,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated process count (perfect square)")
         p.add_argument("--align-mode", choices=("xdrop", "chain"),
                        default=cfg.align_mode)
+        p.add_argument("--align-impl", choices=("auto",) + ALIGN_IMPLS,
+                       default=cfg.align_impl,
+                       help="alignment engine: 'batch' runs one vectorized "
+                            "x-drop sweep over whole chunks of candidate "
+                            "pairs, 'loop' aligns pair by pair (the "
+                            "reference oracle); 'auto' honors "
+                            "REPRO_ALIGN_IMPL, else batch (results are "
+                            "engine-independent)")
         p.add_argument("--fuzz", type=int, default=cfg.fuzz)
         p.add_argument("--depth-hint", type=float, default=cfg.depth_hint)
         p.add_argument("--error-hint", type=float, default=cfg.error_hint)
@@ -145,7 +154,8 @@ def _cmd_simulate(args) -> int:
 
 def _run(args):
     cfg = PipelineConfig(k=args.k, nprocs=args.nprocs,
-                         align_mode=args.align_mode, fuzz=args.fuzz,
+                         align_mode=args.align_mode,
+                         align_impl=args.align_impl, fuzz=args.fuzz,
                          depth_hint=args.depth_hint,
                          error_hint=args.error_hint,
                          backend=args.backend,
@@ -159,6 +169,8 @@ def _run(args):
 def _print_stats(result, machine_name: str) -> None:
     machine = MACHINES[machine_name]
     print(f"reads: {result.n_reads}   reliable k-mers: {result.n_kmers}")
+    print(f"alignment: {result.config.align_mode} mode, "
+          f"{result.align_impl} engine")
     if result.overlap_mode == "blocked":
         print(f"overlap mode: blocked ({result.n_strips} strips)")
     print(f"nnz(C) = {result.nnz_c}  (c = {result.c_density:.1f})")

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..align.batch import resolve_align_impl
 from ..align.xdrop import Scoring
 from ..dsparse.backend import Backend, get_backend
 from ..dsparse.distmat import DistMat
@@ -80,7 +81,7 @@ def _strip_task(ctx, task):
     ``Aᵀ`` strip (sliced in the parent), so a process pool never ships the
     full transpose to a worker.
     """
-    A, reads, k, nprocs, mode, scoring, filt, fuzz, backend = ctx
+    A, reads, k, nprocs, mode, scoring, filt, fuzz, backend, align_impl = ctx
     lo, hi, At_strip = task
     backend = get_backend(backend)
     tracker = CommTracker(nprocs)
@@ -112,7 +113,7 @@ def _strip_task(ctx, task):
     shifted = _shift_columns(C_strip, lo, n)
     R_strip = align_candidates(shifted, reads, k, comm, timer,
                                mode=mode, scoring=scoring, filt=filt,
-                               fuzz=fuzz)
+                               fuzz=fuzz, impl=align_impl)
     g = R_strip.to_global()
     coo = (g.row, g.col, g.vals) if g.nnz else None
     return coo, strip_nnz, timer, tracker
@@ -126,14 +127,17 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
                                filt: AlignmentFilter | None = None,
                                fuzz: int = 100,
                                backend: Backend | str | None = None,
-                               executor: Executor | None = None
+                               executor: Executor | None = None,
+                               align_impl: str | None = None
                                ) -> BlockedOverlapResult:
     """Strip-mined ``C = A·Aᵀ`` with per-strip alignment and pruning.
 
     Parameters mirror :func:`~repro.core.overlap.candidate_overlaps` +
     :func:`~repro.core.overlap.align_candidates`; ``n_strips`` controls the
     peak-memory / latency trade-off (each strip is one Sparse SUMMA over a
-    narrower ``Aᵀ``); ``backend`` selects the local kernels.  ``executor``
+    narrower ``Aᵀ``); ``backend`` selects the local kernels; ``align_impl``
+    the per-strip alignment engine (resolved once here so every strip task
+    runs the same engine regardless of worker environment).  ``executor``
     spreads whole strips over workers — each strip's private accounting is
     merged back in strip order, so results, communication records, and
     peak-memory marks are byte-identical for every executor.
@@ -143,6 +147,7 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
     backend = get_backend(backend)
     scoring = scoring if scoring is not None else Scoring()
     filt = filt if filt is not None else AlignmentFilter()
+    align_impl = resolve_align_impl(align_impl)
     n = A.shape[0]
     At = A.transpose(backend=backend)
     bounds = block_bounds(n, n_strips)
@@ -153,7 +158,8 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
     tasks = [(lo, hi, At.column_slice(lo, hi)) for lo, hi in spans]
     del At
 
-    ctx = (A, reads, k, comm.nprocs, mode, scoring, filt, fuzz, backend)
+    ctx = (A, reads, k, comm.nprocs, mode, scoring, filt, fuzz, backend,
+           align_impl)
     # Weight by the strip's At entries — the SUMMA flops and downstream
     # candidate count scale with them, while block_bounds makes the column
     # widths near-uniform and thus balance-blind under skew.

@@ -25,7 +25,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..align.overlapper import OverlapClass, classify_overlap
+from ..align.batch import (chain_extend_batch, extend_seeds_xdrop_batch,
+                           resolve_align_impl)
+from ..align.overlapper import (OverlapClass, classify_overlap,
+                                classify_overlap_batch)
 from ..align.xdrop import AlignmentResult, Scoring, chain_extend, \
     seed_extend_align
 from ..dsparse.backend import Backend, get_backend
@@ -33,6 +36,7 @@ from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
 from ..dsparse.summa import summa
 from ..exec import Executor, SERIAL
+from ..exec.partition import weighted_chunks
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D, block_bounds
 from ..mpisim.tracker import StageTimer
@@ -40,8 +44,10 @@ from ..seqs.fasta import ReadSet
 from ..seqs.kmer_counter import KmerTable
 from ..seqs.kmers import canonical_kmers, pack_kmers
 from .memory import coo_nbytes
-from .semirings import (A_FLIP, A_POS, C_COUNT, C_PA1, C_PA2, C_PB1, C_PB2,
-                        C_STRAND1, C_STRAND2, PositionsSemiring, R_NFIELDS)
+from .semirings import (A_FLIP, A_POS, C_COUNT, C_NFIELDS, C_PA1, C_PA2,
+                        C_PB1, C_PB2, C_STRAND1, C_STRAND2,
+                        PositionsSemiring, R_END_I, R_END_J, R_NFIELDS,
+                        R_OLEN, R_SUFFIX)
 
 __all__ = ["AlignmentFilter", "build_a_matrix", "candidate_overlaps",
            "exchange_reads", "align_candidates"]
@@ -242,6 +248,43 @@ def _align_one(reads: ReadSet, gi: int, gj: int, cval: np.ndarray,
     return best
 
 
+def _dedup_second_seeds(cvals: np.ndarray, b_len: np.ndarray, k: int,
+                        mode: str) -> np.ndarray:
+    """Drop redundant second seeds so each pair extends the minimum needed.
+
+    A second seed is provably redundant — the per-pair loop would compute an
+    identical :class:`~repro.align.xdrop.AlignmentResult` for it and discard
+    it on the strictly-greater score test — when it **equals** the first
+    (same ``pa/pb/strand``), or, in chain mode, when it shares the first
+    seed's strand and oriented diagonal (the chain estimate depends on the
+    seed only through that diagonal).  X-drop extensions from *different*
+    positions on one diagonal can genuinely differ, so the diagonal rule is
+    chain-only.  Returns ``cvals`` with redundant second seeds cleared to
+    ``-1`` (a copy when anything changes); R is unchanged by construction.
+    """
+    if cvals.shape[0] == 0:
+        return cvals
+    has2 = cvals[:, C_PA2] >= 0
+    redundant = has2 & (cvals[:, C_PA2] == cvals[:, C_PA1]) & \
+        (cvals[:, C_PB2] == cvals[:, C_PB1]) & \
+        (cvals[:, C_STRAND2] == cvals[:, C_STRAND1])
+    if mode == "chain":
+        same_strand = has2 & (cvals[:, C_STRAND2] == cvals[:, C_STRAND1])
+        sb1 = np.where(cvals[:, C_STRAND1] != 0,
+                       b_len - k - cvals[:, C_PB1], cvals[:, C_PB1])
+        sb2 = np.where(cvals[:, C_STRAND2] != 0,
+                       b_len - k - cvals[:, C_PB2], cvals[:, C_PB2])
+        redundant |= same_strand & \
+            (cvals[:, C_PA1] - sb1 == cvals[:, C_PA2] - sb2)
+    if not redundant.any():
+        return cvals
+    cvals = cvals.copy()
+    cvals[redundant, C_PA2] = -1
+    cvals[redundant, C_PB2] = -1
+    cvals[redundant, C_STRAND2] = -1
+    return cvals
+
+
 def _align_task(ctx, task):
     """Executor task: align one candidate pair, filter, classify.
 
@@ -263,13 +306,138 @@ def _align_task(ctx, task):
             (oc.suffix_ji, oc.end_j, oc.end_i, oc.overlap_len))
 
 
+#: Ceiling on candidate pairs per batch-kernel call (the ``max_items`` cap
+#: handed to the nnz-weighted partitioner).  Chunks this size keep the
+#: lockstep sweep's ``(problems × window)`` state in bounded memory while
+#: still amortizing dispatch over thousands of pairs.
+_MAX_BATCH_PAIRS = 4096
+
+
+def _gather_pairs(C: DistMat, lengths: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                             np.ndarray]:
+    """Flatten C's nonzeros into pair arrays, in canonical block order.
+
+    Pure array operations over each block's COO storage — no per-entry
+    Python loop.  Returns ``(gi, gj, cvals, ranks, weights)`` where
+    ``ranks`` is each pair's owning grid rank (for compute charging) and
+    ``weights`` the two-read-length cost estimate driving chunk balance.
+    """
+    q = C.grid.q
+    gi_parts: list[np.ndarray] = []
+    gj_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    rank_parts: list[np.ndarray] = []
+    for i in range(q):
+        for j in range(q):
+            b = C.blocks[i][j]
+            if b.nnz == 0:
+                continue
+            gi_parts.append(b.row + int(C.row_bounds[i]))
+            gj_parts.append(b.col + int(C.col_bounds[j]))
+            val_parts.append(b.vals)
+            rank_parts.append(np.full(b.nnz, C.grid.rank_of(i, j),
+                                      dtype=np.int64))
+    if not gi_parts:
+        empty = np.empty(0, np.int64)
+        return empty, empty, np.empty((0, C_NFIELDS), np.int64), empty, empty
+    gi = np.concatenate(gi_parts)
+    gj = np.concatenate(gj_parts)
+    cvals = np.vstack(val_parts)
+    ranks = np.concatenate(rank_parts)
+    weights = lengths[gi] + lengths[gj]
+    return gi, gj, cvals, ranks, weights
+
+
+def _align_pairs_batch(codes: np.ndarray, offsets: np.ndarray,
+                       lengths: np.ndarray, gi: np.ndarray, gj: np.ndarray,
+                       cvals: np.ndarray, k: int, mode: str,
+                       scoring: Scoring
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray, np.ndarray, np.ndarray]:
+    """Best-seed alignment coordinates for a batch of candidate pairs.
+
+    Extends seed 1 of every pair and seed 2 of the pairs that carry one
+    (post-dedup) through the batched engines, then keeps seed 2's result
+    exactly where its score is strictly greater — the same strictly-greater
+    rule as the per-pair loop's seed iteration.  Returns per-pair
+    ``(score, ba, ea, bb, eb, strand)`` columns.
+    """
+    a_len = lengths[gi]
+    b_len = lengths[gj]
+    a_off = offsets[gi]
+    b_off = offsets[gj]
+
+    def one_seed(sel, pa, pb, strand):
+        if mode == "chain":
+            return chain_extend_batch(a_len[sel], b_len[sel], pa, pb,
+                                      strand, k)
+        return extend_seeds_xdrop_batch(codes, a_off[sel], a_len[sel],
+                                        b_off[sel], b_len[sel], pa, pb,
+                                        strand, k, scoring)
+
+    every = slice(None)
+    score, ba, ea, bb, eb = one_seed(every, cvals[:, C_PA1],
+                                     cvals[:, C_PB1], cvals[:, C_STRAND1])
+    strand = cvals[:, C_STRAND1].copy()
+    idx2 = np.flatnonzero(cvals[:, C_PA2] >= 0)
+    if idx2.size:
+        s2 = one_seed(idx2, cvals[idx2, C_PA2], cvals[idx2, C_PB2],
+                      cvals[idx2, C_STRAND2])
+        better = s2[0] > score[idx2]
+        upd = idx2[better]
+        for dst, src in zip((score, ba, ea, bb, eb), s2):
+            dst[upd] = src[better]
+        strand[upd] = cvals[upd, C_STRAND2]
+    return score, ba, ea, bb, eb, strand
+
+
+def _align_chunk_task(ctx, task):
+    """Executor task: align one chunk of pairs with the batched engine.
+
+    One batch-kernel invocation covers the whole chunk: seed extension,
+    score filter, and overlap classification all run as column operations,
+    and the surviving dovetails come back as ready-to-concatenate R COO
+    arrays (two directed rows per pair, in chunk order).
+    """
+    codes, offsets, lengths, k, mode, scoring, filt, fuzz = ctx
+    gi, gj, cvals = task
+    score, ba, ea, bb, eb, strand = _align_pairs_batch(
+        codes, offsets, lengths, gi, gj, cvals, k, mode, scoring)
+    olen = ea - ba
+    passes = (olen >= filt.min_overlap) & \
+        (score >= np.maximum(np.int64(filt.min_score),
+                             (filt.ratio * olen).astype(np.int64)))
+    dovetail, suffix_ij, suffix_ji, end_i, end_j, olen = \
+        classify_overlap_batch(lengths[gi], lengths[gj], ba, ea, bb, eb,
+                               strand, fuzz)
+    sel = passes & dovetail
+    n_hit = int(sel.sum())
+    rows = np.empty(2 * n_hit, dtype=np.int64)
+    cols = np.empty(2 * n_hit, dtype=np.int64)
+    vals = np.empty((2 * n_hit, R_NFIELDS), dtype=np.int64)
+    rows[0::2] = gi[sel]
+    rows[1::2] = gj[sel]
+    cols[0::2] = gj[sel]
+    cols[1::2] = gi[sel]
+    vals[0::2, R_SUFFIX] = suffix_ij[sel]
+    vals[0::2, R_END_I] = end_i[sel]
+    vals[0::2, R_END_J] = end_j[sel]
+    vals[1::2, R_SUFFIX] = suffix_ji[sel]
+    vals[1::2, R_END_I] = end_j[sel]
+    vals[1::2, R_END_J] = end_i[sel]
+    vals[:, R_OLEN] = np.repeat(olen[sel], 2)
+    return rows, cols, vals
+
+
 def align_candidates(C: DistMat, reads: ReadSet, k: int, comm: SimComm,
                      timer: StageTimer | None = None, *,
                      mode: str = "xdrop",
                      scoring: Scoring | None = None,
                      filt: AlignmentFilter | None = None,
                      fuzz: int = 100,
-                     executor: Executor | None = None) -> DistMat:
+                     executor: Executor | None = None,
+                     impl: str | None = None) -> DistMat:
     """Pairwise-align all C nonzeros and build the overlap matrix ``R``.
 
     Alignment is the element-wise APPLY on C; score pruning is the PRUNE
@@ -278,59 +446,110 @@ def align_candidates(C: DistMat, reads: ReadSet, k: int, comm: SimComm,
     (the paper discards contained overlaps at the transitive-reduction
     boundary regardless of score, Section IV-D).
 
-    Every candidate pair is an independent ``executor`` task (weighted by
-    the two read lengths — the x-drop cost driver); survivors are appended
-    in C's canonical block/entry order, so R is byte-identical for every
-    executor and worker count.  Per-pair compute time is charged to the
-    grid rank owning the pair's C block.
+    ``impl`` selects the alignment engine (:func:`resolve_align_impl`):
+
+    * ``"batch"`` (the ``auto`` default) packs the candidate pairs into
+      structure-of-arrays buffers and aligns **nnz-weighted chunks of
+      pairs** per executor task — one lockstep batched x-drop sweep per
+      chunk instead of one Python dispatch per pair; chunk compute time is
+      charged to the grid ranks owning each chunk's pairs in proportion to
+      their weight share.
+    * ``"loop"`` runs one executor task per pair (weighted by the two read
+      lengths — the x-drop cost driver), charged to the owning rank
+      exactly; it is the reference oracle the batch engine is pinned
+      against.
+
+    Either way survivors are appended in C's canonical block/entry order,
+    so R is byte-identical for every engine, executor, and worker count.
     """
     timer = timer if timer is not None else StageTimer()
     scoring = scoring if scoring is not None else Scoring()
     filt = filt if filt is not None else AlignmentFilter()
     executor = executor if executor is not None else SERIAL
+    impl = resolve_align_impl(impl)
     stage = "Alignment"
-    q = C.grid.q
     n = C.shape[0]
     lengths = reads.lengths
 
-    tasks: list[tuple[int, int, np.ndarray]] = []
-    task_ranks: list[int] = []
-    for i in range(q):
-        for j in range(q):
-            b = C.blocks[i][j]
-            if b.nnz == 0:
-                continue
-            r0 = int(C.row_bounds[i])
-            c0 = int(C.col_bounds[j])
-            rank = C.grid.rank_of(i, j)
-            for t in range(b.nnz):
-                tasks.append((int(b.row[t]) + r0, int(b.col[t]) + c0,
-                              b.vals[t]))
-                task_ranks.append(rank)
+    gi, gj, cvals, ranks, weights = _gather_pairs(C, lengths)
+    cvals = _dedup_second_seeds(cvals, lengths[gj], k, mode)
 
+    if impl == "batch":
+        row, col, vals = _run_batch_impl(reads, gi, gj, cvals, ranks,
+                                         weights, k, mode, scoring, filt,
+                                         fuzz, executor, timer, stage)
+    else:
+        row, col, vals = _run_loop_impl(reads, gi, gj, cvals, ranks,
+                                        weights, k, mode, scoring, filt,
+                                        fuzz, executor, timer, stage)
+    timer.record_peak_bytes(stage, coo_nbytes(row.shape[0], R_NFIELDS))
+    return DistMat.from_coo((n, n), C.grid, row, col, vals)
+
+
+def _run_loop_impl(reads, gi, gj, cvals, ranks, weights, k, mode, scoring,
+                   filt, fuzz, executor, timer, stage):
+    """Per-pair reference engine: one executor task per candidate pair."""
+    tasks = list(zip(gi.tolist(), gj.tolist(), cvals))
     ctx = (reads, k, mode, scoring, filt, fuzz)
     with timer.superstep(stage) as step:
-        results, secs = executor.run_timed(
-            _align_task, tasks, context=ctx,
-            weights=[int(lengths[gi] + lengths[gj]) for gi, gj, _ in tasks])
-        step.charge_many(task_ranks, secs)
+        results, secs = executor.run_timed(_align_task, tasks, context=ctx,
+                                           weights=weights.tolist())
+        step.charge_many(ranks.tolist(), secs)
 
     rows: list[int] = []
     cols: list[int] = []
     val_rows: list[tuple] = []
-    for (gi, gj, _), hit in zip(tasks, results):
+    for (pair_i, pair_j, _), hit in zip(tasks, results):
         if hit is None:
             continue
-        rows.extend((gi, gj))
-        cols.extend((gj, gi))
+        rows.extend((pair_i, pair_j))
+        cols.extend((pair_j, pair_i))
         val_rows.extend(hit)
-
     if rows:
-        row = np.array(rows, dtype=np.int64)
-        col = np.array(cols, dtype=np.int64)
-        vals = np.array(val_rows, dtype=np.int64)
-    else:
-        row = col = np.empty(0, np.int64)
-        vals = np.empty((0, R_NFIELDS), np.int64)
-    timer.record_peak_bytes(stage, coo_nbytes(row.shape[0], R_NFIELDS))
-    return DistMat.from_coo((n, n), C.grid, row, col, vals)
+        return (np.array(rows, dtype=np.int64),
+                np.array(cols, dtype=np.int64),
+                np.array(val_rows, dtype=np.int64))
+    return (np.empty(0, np.int64), np.empty(0, np.int64),
+            np.empty((0, R_NFIELDS), np.int64))
+
+
+def _run_batch_impl(reads, gi, gj, cvals, ranks, weights, k, mode, scoring,
+                    filt, fuzz, executor, timer, stage):
+    """Batched engine: nnz-weighted chunks of pairs per executor task."""
+    n_pairs = gi.shape[0]
+    if n_pairs == 0:
+        with timer.superstep(stage):
+            pass
+        return (np.empty(0, np.int64), np.empty(0, np.int64),
+                np.empty((0, R_NFIELDS), np.int64))
+    # All reads in one shared SoA buffer (cached on the ReadSet, so blocked
+    # mode's per-strip calls reuse it): the batch kernels address sequences
+    # by (offset, stride, length) views into it, so neither the chunks nor
+    # the oriented sequences are ever copied out per pair.
+    codes, offsets, lengths = reads.soa()
+
+    spans = weighted_chunks(weights, executor.workers * 2,
+                            max_items=_MAX_BATCH_PAIRS)
+    tasks = [(gi[lo:hi], gj[lo:hi], cvals[lo:hi]) for lo, hi in spans]
+    ctx = (codes, offsets, lengths, k, mode, scoring, filt, fuzz)
+    with timer.superstep(stage) as step:
+        results, secs = executor.run_timed(
+            _align_chunk_task, tasks, context=ctx,
+            weights=[float(weights[lo:hi].sum()) for lo, hi in spans])
+        # Charge each chunk's measured compute to the grid ranks owning its
+        # pairs, split by weight share (the loop engine's per-pair charging,
+        # aggregated per rank).
+        for (lo, hi), sec in zip(spans, secs):
+            w = weights[lo:hi].astype(np.float64)
+            total = float(w.sum())
+            if total <= 0.0:
+                w = np.ones(hi - lo)
+                total = float(hi - lo)
+            uniq, inv = np.unique(ranks[lo:hi], return_inverse=True)
+            for rank, share in zip(uniq,
+                                   np.bincount(inv, weights=w) / total):
+                step.charge(int(rank), sec * float(share))
+
+    return (np.concatenate([r[0] for r in results]),
+            np.concatenate([r[1] for r in results]),
+            np.vstack([r[2] for r in results]))

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..align.batch import resolve_align_impl
 from ..align.xdrop import Scoring
 from ..dsparse.backend import get_backend
 from ..dsparse.coomat import CooMat
@@ -67,6 +68,14 @@ class PipelineConfig:
     pure performance axis — output is byte-identical for every executor
     and worker count.
 
+    ``align_impl`` selects the alignment engine for the x-drop/chain
+    stage (:func:`repro.align.resolve_align_impl`): ``"batch"`` packs all
+    candidate pairs into structure-of-arrays buffers and extends them in
+    lockstep batched kernel sweeps (the fast path), ``"loop"`` dispatches
+    one Python call per pair (the reference oracle), ``"auto"`` honors the
+    ``REPRO_ALIGN_IMPL`` environment variable, else runs ``batch``.  Output
+    is byte-identical across engines.
+
     ``overlap_mode`` selects the candidate-formation path: ``"monolithic"``
     forms all of ``C = A·Aᵀ`` at once, ``"blocked"`` strip-mines it
     (paper Section VIII) so peak candidate memory drops by ~``n_strips``
@@ -81,6 +90,7 @@ class PipelineConfig:
     k: int = 17
     nprocs: int = 1
     align_mode: str = "xdrop"
+    align_impl: str = "auto"
     scoring: Scoring = field(default_factory=Scoring)
     filt: AlignmentFilter = field(default_factory=AlignmentFilter)
     fuzz: int = 150
@@ -115,6 +125,7 @@ class PipelineResult:
     tracker: CommTracker
     overlap_mode: str = "monolithic"
     n_strips: int = 1
+    align_impl: str = "batch"
 
     # -- paper statistics ---------------------------------------------------
     @property
@@ -190,6 +201,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     config = config if config is not None else PipelineConfig()
     backend = get_backend(config.backend)
     overlap_mode = resolve_overlap_mode(config.overlap_mode)
+    align_impl = resolve_align_impl(config.align_impl)
     grid = ProcessGrid2D(config.nprocs)
     tracker = CommTracker(config.nprocs)
     comm = SimComm(config.nprocs, tracker)
@@ -221,7 +233,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
                 A, reads, config.k, comm, plan.n_strips, timer,
                 mode=config.align_mode, scoring=config.scoring,
                 filt=config.filt, fuzz=config.fuzz, backend=backend,
-                executor=ex)
+                executor=ex, align_impl=align_impl)
             nnz_c, R, n_strips = blk.nnz_c, blk.R, blk.n_strips
         else:
             C = candidate_overlaps(A, comm, timer, backend=backend,
@@ -231,7 +243,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
                                  mode=config.align_mode,
                                  scoring=config.scoring,
                                  filt=config.filt, fuzz=config.fuzz,
-                                 executor=ex)
+                                 executor=ex, impl=align_impl)
             n_strips = 1
         nnz_r = R.nnz()
         tr = transitive_reduction(R, comm, timer, fuzz=config.fuzz,
@@ -243,7 +255,8 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         string_graph=StringGraph.from_coomat(S_global), S=S_global,
         nnz_a=nnz_a, nnz_c=nnz_c, nnz_r=nnz_r, nnz_s=tr.S.nnz(),
         tr_rounds=tr.rounds, timer=timer, tracker=tracker,
-        overlap_mode=overlap_mode, n_strips=n_strips)
+        overlap_mode=overlap_mode, n_strips=n_strips,
+        align_impl=align_impl)
 
 
 def run_pipeline_from_fasta(path, config: PipelineConfig | None = None

@@ -23,13 +23,22 @@ __all__ = ["weighted_chunks"]
 
 
 def weighted_chunks(weights: Sequence[float] | np.ndarray,
-                    n_chunks: int) -> list[tuple[int, int]]:
-    """Split ``range(len(weights))`` into ≤ ``n_chunks`` contiguous ranges.
+                    n_chunks: int,
+                    max_items: int | None = None) -> list[tuple[int, int]]:
+    """Split ``range(len(weights))`` into contiguous weight-balanced ranges.
 
     Chunk boundaries are placed at the weight-prefix quantiles, so each
     chunk carries roughly ``total_weight / n_chunks`` — the nnz-weighted
     analogue of an even block split.  Zero-weight tasks are still assigned
-    (every index appears in exactly one range); empty ranges are dropped.
+    (every index appears in exactly one range); empty ranges are dropped,
+    so without ``max_items`` at most ``n_chunks`` ranges come back.
+
+    ``max_items`` additionally caps the *item count* of every range: a
+    quantile range longer than the cap is subdivided into even sub-ranges.
+    Weight balance bounds a chunk's cost; the item cap bounds its working
+    set — what the batched alignment engine needs to keep one kernel
+    call's state in bounded memory regardless of how many cheap pairs the
+    weight quantiles pack together.
 
     Returns a list of half-open ``(lo, hi)`` index ranges in ascending
     order whose concatenation is exactly ``range(len(weights))``.
@@ -38,21 +47,35 @@ def weighted_chunks(weights: Sequence[float] | np.ndarray,
     n = w.shape[0]
     if n == 0:
         return []
-    if n_chunks <= 1 or n == 1:
-        return [(0, n)]
-    n_chunks = min(n_chunks, n)
     if (w < 0).any():
         raise ValueError("weights must be non-negative")
-    prefix = np.cumsum(w)
-    total = prefix[-1]
-    if total <= 0.0:
-        # All-zero weights: fall back to an even count split.
-        bounds = (np.arange(n_chunks + 1, dtype=np.int64) * n) // n_chunks
+    if n_chunks <= 1 or n == 1:
+        bounds = np.array([0, n], dtype=np.int64)
     else:
-        targets = (np.arange(1, n_chunks, dtype=np.float64) *
-                   (total / n_chunks))
-        cuts = np.searchsorted(prefix, targets, side="left") + 1
-        bounds = np.concatenate(([0], cuts, [n]))
-        bounds = np.maximum.accumulate(np.minimum(bounds, n))
-    return [(int(lo), int(hi))
-            for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+        n_chunks = min(n_chunks, n)
+        prefix = np.cumsum(w)
+        total = prefix[-1]
+        if total <= 0.0:
+            # All-zero weights: fall back to an even count split.
+            bounds = (np.arange(n_chunks + 1, dtype=np.int64) * n) // n_chunks
+        else:
+            targets = (np.arange(1, n_chunks, dtype=np.float64) *
+                       (total / n_chunks))
+            cuts = np.searchsorted(prefix, targets, side="left") + 1
+            bounds = np.concatenate(([0], cuts, [n]))
+            bounds = np.maximum.accumulate(np.minimum(bounds, n))
+    ranges = [(int(lo), int(hi))
+              for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+    if max_items is None:
+        return ranges
+    if max_items < 1:
+        raise ValueError(f"max_items must be >= 1, got {max_items}")
+    capped: list[tuple[int, int]] = []
+    for lo, hi in ranges:
+        n_sub = -(-(hi - lo) // max_items)
+        if n_sub <= 1:
+            capped.append((lo, hi))
+            continue
+        sub = lo + (np.arange(n_sub + 1, dtype=np.int64) * (hi - lo)) // n_sub
+        capped.extend((int(a), int(b)) for a, b in zip(sub[:-1], sub[1:]))
+    return capped

@@ -38,6 +38,9 @@ class ReadSet:
             raise ValueError("names and seqs must have equal length")
         self.names = names
         self.seqs = seqs
+        # Lazily-built structure-of-arrays view (reads are immutable once
+        # constructed): one concatenated code buffer + per-read offsets.
+        self._soa: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return len(self.seqs)
@@ -45,10 +48,37 @@ class ReadSet:
     def __getitem__(self, i: int) -> np.ndarray:
         return self.seqs[i]
 
+    def soa(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(codes, offsets, lengths)`` structure-of-arrays view, cached.
+
+        ``codes`` is every read concatenated (read ``i`` occupies
+        ``codes[offsets[i]:offsets[i] + lengths[i]]``) — the shared buffer
+        the batched alignment engine addresses by (offset, stride, length)
+        views.  Built once per ReadSet; treat all three arrays as
+        read-only.
+        """
+        if self._soa is None:
+            lengths = np.array([s.shape[0] for s in self.seqs],
+                               dtype=np.int64)
+            offsets = np.zeros(lengths.shape[0], dtype=np.int64)
+            if lengths.shape[0] > 1:
+                np.cumsum(lengths[:-1], out=offsets[1:])
+            codes = np.concatenate(self.seqs) if self.seqs else \
+                np.empty(0, np.uint8)
+            self._soa = (codes, offsets, lengths)
+        return self._soa
+
+    def __getstate__(self):
+        # Drop the SoA cache from pickles (executor workers rebuild it
+        # lazily) so shipping a ReadSet never pays for the bases twice.
+        state = self.__dict__.copy()
+        state["_soa"] = None
+        return state
+
     @property
     def lengths(self) -> np.ndarray:
-        """``int64`` array of read lengths."""
-        return np.array([s.shape[0] for s in self.seqs], dtype=np.int64)
+        """``int64`` array of read lengths (cached; treat as read-only)."""
+        return self.soa()[2]
 
     def total_bases(self) -> int:
         return int(self.lengths.sum())

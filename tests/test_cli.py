@@ -86,6 +86,7 @@ def test_parser_defaults_match_pipeline_config():
         assert args.k == cfg.k
         assert args.nprocs == cfg.nprocs
         assert args.align_mode == cfg.align_mode
+        assert args.align_impl == cfg.align_impl
         assert args.fuzz == cfg.fuzz
         assert args.depth_hint == cfg.depth_hint
         assert args.error_hint == cfg.error_hint

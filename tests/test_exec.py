@@ -66,6 +66,27 @@ def test_weighted_chunks_no_chunk_exceeds_max_task_plus_share(weights,
         assert sum(weights[lo:hi]) <= bound + 1e-9
 
 
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=0, max_size=60),
+       st.integers(1, 12), st.integers(1, 10))
+def test_weighted_chunks_max_items_cap(weights, n_chunks, max_items):
+    """The item cap subdivides long quantile ranges; cover stays exact."""
+    ranges = weighted_chunks(weights, n_chunks, max_items=max_items)
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == list(range(len(weights)))
+    for lo, hi in ranges:
+        assert hi - lo <= max_items
+
+
+def test_weighted_chunks_max_items_even_subdivision():
+    # One chunk of 10 under a cap of 4 -> even 3/3/4, not 4/4/2.
+    assert weighted_chunks([1] * 10, 1, max_items=4) == \
+        [(0, 3), (3, 6), (6, 10)]
+    with pytest.raises(ValueError):
+        weighted_chunks([1, 2], 1, max_items=0)
+
+
 # -- executors ---------------------------------------------------------------
 
 def _square(ctx, x):
