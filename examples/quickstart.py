@@ -21,6 +21,7 @@ from repro import CORI_HASWELL, PipelineConfig, extract_contigs, run_pipeline
 from repro.align.batch import ALIGN_IMPLS
 from repro.core.memory import OVERLAP_MODES, format_bytes, parse_bytes
 from repro.exec import available_executors
+from repro.seqs.kmer_counter import KMER_IMPLS
 from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
 
 
@@ -48,6 +49,11 @@ def main() -> None:
                     help="alignment engine: 'batch' sweeps whole chunks of "
                          "candidate pairs per kernel call, 'loop' is the "
                          "per-pair reference — identical output")
+    ap.add_argument("--kmer-impl", choices=("auto",) + KMER_IMPLS,
+                    default="auto",
+                    help="k-mer engine: 'batch' counts through vectorized "
+                         "sorted-array tables, 'loop' is the per-read / "
+                         "per-key dict reference — identical output")
     args = ap.parse_args()
     # 1. Simulate a 30 kb genome at 15x depth with 5% CLR-style errors.
     genome, reads, layout = simulate_reads(
@@ -65,6 +71,7 @@ def main() -> None:
     #    compute over real cores (same output, smaller wall-clock).
     config = PipelineConfig(k=17, nprocs=4, align_mode=args.align_mode,
                             align_impl=args.align_impl,
+                            kmer_impl=args.kmer_impl,
                             depth_hint=15, error_hint=0.05,
                             workers=args.workers, executor=args.executor,
                             overlap_mode=args.overlap_mode,
@@ -74,7 +81,8 @@ def main() -> None:
     wall = time.perf_counter() - t0
     print(f"Pipeline wall-clock: {wall:.2f} s "
           f"(executor={config.executor}, workers={args.workers or 'env/1'}, "
-          f"align={config.align_mode}/{result.align_impl})")
+          f"align={config.align_mode}/{result.align_impl}, "
+          f"kmer={result.kmer_impl})")
     if result.overlap_mode == "blocked":
         print(f"Blocked overlap mode: {result.n_strips} strips, peak "
               f"candidate memory "

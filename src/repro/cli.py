@@ -25,6 +25,7 @@ from .dsparse.backend import available_backends
 from .exec import available_executors
 from .mpisim.machine import MACHINES
 from .seqs.dna import GenomeSpec
+from .seqs.kmer_counter import KMER_IMPLS
 from .seqs.fasta import write_fasta
 from .seqs.simulator import ErrorModel, ReadSimSpec, simulate_reads
 
@@ -88,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "pairs, 'loop' aligns pair by pair (the "
                             "reference oracle); 'auto' honors "
                             "REPRO_ALIGN_IMPL, else batch (results are "
+                            "engine-independent)")
+        p.add_argument("--kmer-impl", choices=("auto",) + KMER_IMPLS,
+                       default=cfg.kmer_impl,
+                       help="k-mer engine: 'batch' extracts and counts "
+                            "through vectorized sorted-array SoA tables "
+                            "(one sweep per rank for CountKmer and the "
+                            "CreateSpMat scan), 'loop' runs the per-read / "
+                            "per-key dict reference oracle; 'auto' honors "
+                            "REPRO_KMER_IMPL, else batch (results are "
                             "engine-independent)")
         p.add_argument("--fuzz", type=int, default=cfg.fuzz)
         p.add_argument("--depth-hint", type=float, default=cfg.depth_hint)
@@ -155,7 +165,8 @@ def _cmd_simulate(args) -> int:
 def _run(args):
     cfg = PipelineConfig(k=args.k, nprocs=args.nprocs,
                          align_mode=args.align_mode,
-                         align_impl=args.align_impl, fuzz=args.fuzz,
+                         align_impl=args.align_impl,
+                         kmer_impl=args.kmer_impl, fuzz=args.fuzz,
                          depth_hint=args.depth_hint,
                          error_hint=args.error_hint,
                          backend=args.backend,
@@ -171,6 +182,7 @@ def _print_stats(result, machine_name: str) -> None:
     print(f"reads: {result.n_reads}   reliable k-mers: {result.n_kmers}")
     print(f"alignment: {result.config.align_mode} mode, "
           f"{result.align_impl} engine")
+    print(f"k-mer counting: {result.kmer_impl} engine")
     if result.overlap_mode == "blocked":
         print(f"overlap mode: blocked ({result.n_strips} strips)")
     print(f"nnz(C) = {result.nnz_c}  (c = {result.c_density:.1f})")

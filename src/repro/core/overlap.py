@@ -41,8 +41,8 @@ from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D, block_bounds
 from ..mpisim.tracker import StageTimer
 from ..seqs.fasta import ReadSet
-from ..seqs.kmer_counter import KmerTable
-from ..seqs.kmers import canonical_kmers, pack_kmers
+from ..seqs.kmer_counter import KmerTable, resolve_kmer_impl
+from ..seqs.kmers import canonical_kmers, pack_kmers, read_kmers_batch
 from .memory import coo_nbytes
 from .semirings import (A_FLIP, A_POS, C_COUNT, C_NFIELDS, C_PA1, C_PA2,
                         C_PB1, C_PB2, C_STRAND1, C_STRAND2,
@@ -100,9 +100,40 @@ def _a_scan_task(ctx, span):
     return np.concatenate(rr), np.concatenate(cc), np.vstack(vv)
 
 
+def _a_scan_batch_task(ctx, task):
+    """Executor task: one 1D rank's (read, k-mer) scan as pure column ops.
+
+    The task carries the rank's global read offset and its own SoA block
+    (:meth:`~repro.seqs.fasta.ReadSet.soa_block`); extraction, dictionary
+    lookup, and first-occurrence dedup all run over the whole block at once.
+    Output entries are ordered by (read, column) with the first-occurrence
+    position/flip per (read, k-mer) — exactly the loop task's order.
+    """
+    table = ctx
+    lo, codes, offsets, lengths = task
+    canon, ridx, pos, flip = read_kmers_batch(codes, offsets, lengths,
+                                              table.k)
+    col = table.lookup(canon)
+    ok = col >= 0
+    if not ok.any():
+        return None
+    ridx, col, pos = ridx[ok], col[ok], pos[ok]
+    flip = flip[ok].astype(np.int64)
+    # Keep the first occurrence per (read, k-mer): entries arrive in
+    # (read, pos) order, so np.unique's first-occurrence index over the
+    # composite (read, col) key lands on the earliest window — and its
+    # ascending value order is exactly the loop task's (read, ascending
+    # col) emission order.
+    comp = ridx * np.int64(len(table)) + col
+    _, first = np.unique(comp, return_index=True)
+    ridx, col, pos, flip = ridx[first], col[first], pos[first], flip[first]
+    return ridx + lo, col, np.stack([pos, flip], axis=1)
+
+
 def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
                    comm: SimComm, timer: StageTimer | None = None,
-                   executor: Executor | None = None) -> DistMat:
+                   executor: Executor | None = None,
+                   impl: str | None = None) -> DistMat:
     """Construct the distributed |reads|×|k-mers| matrix ``A``.
 
     Each 1D source rank scans its block of reads, looks its k-mers up in the
@@ -110,9 +141,16 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
     the resulting ``(read, column, pos, flip)`` entries to their 2D block
     owners; that routing is the ``CreateSpMat`` traffic.  The per-rank scans
     are independent and run on ``executor``.
+
+    ``impl`` selects the scan engine (:func:`resolve_kmer_impl`):
+    ``"batch"`` runs each rank's scan as one vectorized
+    :func:`~repro.seqs.kmers.read_kmers_batch` pass with column-op lookup
+    and dedup; ``"loop"`` scans read by read (the reference oracle).  A is
+    byte-identical either way.
     """
     timer = timer if timer is not None else StageTimer()
     executor = executor if executor is not None else SERIAL
+    impl = resolve_kmer_impl(impl)
     stage = "CreateSpMat"
     P = comm.nprocs
     n = len(reads)
@@ -121,9 +159,15 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
 
     spans = [(int(bounds[p]), int(bounds[p + 1])) for p in range(P)]
     with timer.superstep(stage) as step:
-        parts, secs = executor.run_timed(
-            _a_scan_task, spans, context=(reads, table),
-            weights=[hi - lo for lo, hi in spans])
+        if impl == "batch":
+            tasks = [(lo,) + reads.soa_block(lo, hi) for lo, hi in spans]
+            parts, secs = executor.run_timed(
+                _a_scan_batch_task, tasks, context=table,
+                weights=[t[1].shape[0] for t in tasks])
+        else:
+            parts, secs = executor.run_timed(
+                _a_scan_task, spans, context=(reads, table),
+                weights=[hi - lo for lo, hi in spans])
         step.charge_many(range(P), secs)
     rows_parts = [part[0] for part in parts if part is not None]
     cols_parts = [part[1] for part in parts if part is not None]

@@ -31,7 +31,8 @@ from ..mpisim.grid import ProcessGrid2D
 from ..mpisim.machine import MachineModel
 from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet, read_fasta
-from ..seqs.kmer_counter import count_kmers, reliable_upper_bound
+from ..seqs.kmer_counter import (count_kmers, reliable_upper_bound,
+                                 resolve_kmer_impl)
 from .blocked import candidate_overlaps_blocked
 from .memory import plan_strips, resolve_overlap_mode
 from .overlap import (AlignmentFilter, align_candidates, build_a_matrix,
@@ -76,6 +77,15 @@ class PipelineConfig:
     ``REPRO_ALIGN_IMPL`` environment variable, else runs ``batch``.  Output
     is byte-identical across engines.
 
+    ``kmer_impl`` does the same for the k-mer stages
+    (:func:`repro.seqs.kmer_counter.resolve_kmer_impl`): ``"batch"`` runs
+    ``CountKmer`` extraction/admission/counting over sorted
+    structure-of-arrays tables and the ``CreateSpMat`` scan as one
+    vectorized pass per rank; ``"loop"`` keeps the per-read / per-key dict
+    reference oracle; ``"auto"`` honors ``REPRO_KMER_IMPL``, else runs
+    ``batch``.  The k-mer table, A, and everything downstream are
+    byte-identical across engines.
+
     ``overlap_mode`` selects the candidate-formation path: ``"monolithic"``
     forms all of ``C = A·Aᵀ`` at once, ``"blocked"`` strip-mines it
     (paper Section VIII) so peak candidate memory drops by ~``n_strips``
@@ -91,6 +101,7 @@ class PipelineConfig:
     nprocs: int = 1
     align_mode: str = "xdrop"
     align_impl: str = "auto"
+    kmer_impl: str = "auto"
     scoring: Scoring = field(default_factory=Scoring)
     filt: AlignmentFilter = field(default_factory=AlignmentFilter)
     fuzz: int = 150
@@ -126,6 +137,7 @@ class PipelineResult:
     overlap_mode: str = "monolithic"
     n_strips: int = 1
     align_impl: str = "batch"
+    kmer_impl: str = "batch"
 
     # -- paper statistics ---------------------------------------------------
     @property
@@ -202,6 +214,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     backend = get_backend(config.backend)
     overlap_mode = resolve_overlap_mode(config.overlap_mode)
     align_impl = resolve_align_impl(config.align_impl)
+    kmer_impl = resolve_kmer_impl(config.kmer_impl)
     grid = ProcessGrid2D(config.nprocs)
     tracker = CommTracker(config.nprocs)
     comm = SimComm(config.nprocs, tracker)
@@ -217,9 +230,10 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
                       resolve_workers(config.workers)) as ex:
         table = count_kmers(reads, config.k, comm, timer,
                             batches=config.kmer_batches, upper=upper,
-                            executor=ex)
+                            executor=ex, impl=kmer_impl)
 
-        A = build_a_matrix(reads, table, grid, comm, timer, executor=ex)
+        A = build_a_matrix(reads, table, grid, comm, timer, executor=ex,
+                           impl=kmer_impl)
         nnz_a = A.nnz()
         # Read exchange is issued right after partitioning so it overlaps
         # with counting and SpGEMM (paper Section IV-D); accounting order is
@@ -256,7 +270,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         nnz_a=nnz_a, nnz_c=nnz_c, nnz_r=nnz_r, nnz_s=tr.S.nnz(),
         tr_rounds=tr.rounds, timer=timer, tracker=tracker,
         overlap_mode=overlap_mode, n_strips=n_strips,
-        align_impl=align_impl)
+        align_impl=align_impl, kmer_impl=kmer_impl)
 
 
 def run_pipeline_from_fasta(path, config: PipelineConfig | None = None

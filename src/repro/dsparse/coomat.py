@@ -68,6 +68,12 @@ class CooMat:
     def _canonicalize(self) -> None:
         if self.row.shape[0] == 0:
             return
+        key = self.keys()
+        # Builders that emit entries in row-major order (the batched A scan,
+        # kernel outputs) skip the sort: strict monotonicity certifies both
+        # canonical order and coordinate uniqueness in one linear pass.
+        if bool(np.all(key[1:] > key[:-1])):
+            return
         order = np.lexsort((self.col, self.row))
         self.row = self.row[order]
         self.col = self.col[order]

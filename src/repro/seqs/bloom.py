@@ -6,9 +6,24 @@ k-mer is only inserted into the counting hash table once it is seen for the
 *second* time, so the vast majority of error k-mers (which occur once) never
 occupy table memory.
 
-The implementation is a plain bit array with ``n_hashes`` probes derived from
-two independent splitmix64 mixes (Kirsch–Mitzenmacher double hashing), all
-numpy-vectorized over batches of k-mers.
+The implementation keeps one byte per bit slot with ``n_hashes`` probes
+derived from two independent splitmix64 mixes (Kirsch–Mitzenmacher double
+hashing), all numpy-vectorized over batches of k-mers.  Two deliberate
+representation trades against a textbook packed-bit filter:
+
+* **one byte per slot** — 8× filter memory (still ~10 bytes per expected
+  key) so probes are plain fancy indexing; scatter-inserts into packed
+  words need ``np.bitwise_or.at``, which is orders of magnitude slower and
+  was the counter's dominant cost at millions of k-mers;
+* **power-of-two slot count** — probe reduction by bit mask instead of a
+  64-bit modulo.
+
+Both change *which* slots a key probes versus the old packed/modulo
+variant, so the false-positive pattern differs from pre-PR-5 filters (the
+rate only improves — ``m`` never shrinks).  That is observable only below
+the counting pipeline's reliable-multiplicity floor: false positives admit
+singleton k-mers, which reliable selection (``lower >= 2``) always
+discards, so k-mer tables and everything downstream are unaffected.
 """
 
 from __future__ import annotations
@@ -40,9 +55,12 @@ class BloomFilter:
         if not 0.0 < fp_rate < 1.0:
             raise ValueError("fp_rate must be in (0, 1)")
         m = max(64, int(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
-        self.n_bits = int(m)
+        # Round the slot count up to a power of two: probe reduction becomes
+        # a bit mask instead of a 64-bit modulo (the dominant hashing cost),
+        # and the extra slots only lower the false-positive rate.
+        self.n_bits = 1 << (int(m) - 1).bit_length()
         self.n_hashes = max(1, round(m / capacity * math.log(2)))
-        self._bits = np.zeros((self.n_bits + 63) // 64, dtype=np.uint64)
+        self._slots = np.zeros(self.n_bits, dtype=np.uint8)
         self.capacity = capacity
         self.fp_rate = fp_rate
 
@@ -52,7 +70,7 @@ class BloomFilter:
         h1 = splitmix64(keys)
         h2 = splitmix64(keys ^ np.uint64(0xA5A5A5A5A5A5A5A5)) | np.uint64(1)
         i = np.arange(self.n_hashes, dtype=np.uint64)[None, :]
-        return (h1[:, None] + i * h2[:, None]) % np.uint64(self.n_bits)
+        return (h1[:, None] + i * h2[:, None]) & np.uint64(self.n_bits - 1)
 
     # -- operations ------------------------------------------------------
     def add(self, keys: np.ndarray) -> None:
@@ -60,9 +78,7 @@ class BloomFilter:
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
             return
-        pos = self._probe_positions(keys).ravel()
-        np.bitwise_or.at(self._bits, pos >> np.uint64(6),
-                         np.uint64(1) << (pos & np.uint64(63)))
+        self._slots[self._probe_positions(keys).ravel()] = 1
 
     def contains(self, keys: np.ndarray) -> np.ndarray:
         """Membership test for a batch of keys (vectorized).
@@ -73,10 +89,7 @@ class BloomFilter:
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
             return np.zeros(0, dtype=bool)
-        pos = self._probe_positions(keys)
-        words = self._bits[pos >> np.uint64(6)]
-        hit = (words >> (pos & np.uint64(63))) & np.uint64(1)
-        return hit.all(axis=1)
+        return self._slots[self._probe_positions(keys)].all(axis=1)
 
     def add_and_test(self, keys: np.ndarray) -> np.ndarray:
         """Insert keys and report which were (probably) already present.
@@ -105,8 +118,27 @@ class BloomFilter:
         self.add(keys)
         return seen
 
+    def test_and_set(self, keys: np.ndarray) -> np.ndarray:
+        """Pre-state membership plus insertion, one probe sweep per key.
+
+        The batch k-mer engine's primitive: given the *distinct* keys of an
+        exchange round it answers "was this key present before the round?"
+        and inserts them, hashing each key exactly once (:meth:`add_and_test`
+        probes twice — once to test, once to insert — and per occurrence).
+        Equivalent filter state and answers: slot positions only depend on
+        the key, and setting a slot twice is a no-op.  Callers handle
+        intra-round duplicates themselves (a duplicated key is "seen" by
+        definition, whatever the filter says).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._probe_positions(keys)
+        pre = self._slots[pos].all(axis=1)
+        self._slots[pos.ravel()] = 1
+        return pre
+
     @property
     def fill_ratio(self) -> float:
-        """Fraction of set bits (diagnostic; high values degrade accuracy)."""
-        set_bits = int(np.bitwise_count(self._bits).sum())
-        return set_bits / self.n_bits
+        """Fraction of set slots (diagnostic; high values degrade accuracy)."""
+        return float(self._slots.mean())

@@ -68,6 +68,25 @@ class ReadSet:
             self._soa = (codes, offsets, lengths)
         return self._soa
 
+    def soa_block(self, lo: int, hi: int
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """SoA view of the contiguous read block ``[lo, hi)``.
+
+        Returns ``(codes, offsets, lengths)`` where ``codes`` covers *only*
+        this block's bases and ``offsets`` are rebased onto it — the unit of
+        work the batched k-mer engine hands an executor task, so a process
+        pool ships each worker just its own reads instead of the whole
+        concatenated buffer.  All three arrays are views/derived from the
+        cached :meth:`soa` buffers; treat them as read-only.
+        """
+        codes, offsets, lengths = self.soa()
+        if lo >= hi:
+            return (np.empty(0, np.uint8), np.empty(0, np.int64),
+                    np.empty(0, np.int64))
+        base = offsets[lo]
+        end = offsets[hi - 1] + lengths[hi - 1]
+        return codes[base:end], offsets[lo:hi] - base, lengths[lo:hi]
+
     def __getstate__(self):
         # Drop the SoA cache from pickles (executor workers rebuild it
         # lazily) so shipping a ReadSet never pays for the bases twice.

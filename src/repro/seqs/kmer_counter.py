@@ -17,10 +17,26 @@ error-free with probability ``(1-e)^k``, so correct k-mers have multiplicity
 artifact.  With the paper's CLR parameters (k=17, e≈0.15, d=10–40) this model
 lands on the small cutoffs the paper reports (they use max frequency 4 for
 H. sapiens).
+
+Two interchangeable engines drive the per-rank work, selected by ``impl``
+(:func:`resolve_kmer_impl`, mirroring the alignment engine's
+``loop | batch | auto`` switch):
+
+* ``"batch"`` — structure-of-arrays throughout: extraction is one
+  :func:`~repro.seqs.kmers.read_kmers_batch` sweep per rank over its SoA
+  read block, and the admission/count tables are **sorted arrays** updated
+  by merge (``np.searchsorted`` membership, vectorized accumulate) — no
+  per-key Python dict traffic anywhere.
+* ``"loop"`` — the original per-read extraction and ``dict[int, int]``
+  tables, kept as the reference oracle.
+
+The resulting :class:`KmerTable` (and the communication records) are
+byte-identical between the two — pinned by the parity and golden suites.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,20 +48,65 @@ from ..mpisim.grid import block_bounds
 from ..mpisim.tracker import StageTimer
 from .bloom import BloomFilter
 from .fasta import ReadSet
-from .kmers import read_kmers, splitmix64
+from .kmers import read_kmers, read_kmers_batch, splitmix64
 
-__all__ = ["KmerTable", "reliable_upper_bound", "count_kmers"]
+__all__ = ["KmerTable", "reliable_upper_bound", "count_kmers",
+           "KMER_IMPLS", "KMER_IMPL_ENV", "DEFAULT_KMER_IMPL",
+           "resolve_kmer_impl"]
 
 STAGE = "CountKmer"
+
+#: K-mer engine names accepted by ``PipelineConfig.kmer_impl`` (plus
+#: ``"auto"``, which resolves through :func:`resolve_kmer_impl`).
+KMER_IMPLS = ("loop", "batch")
+
+#: Environment variable consulted by ``kmer_impl="auto"``.
+KMER_IMPL_ENV = "REPRO_KMER_IMPL"
+
+#: What ``"auto"`` resolves to when the environment does not override it.
+DEFAULT_KMER_IMPL = "batch"
+
+
+def resolve_kmer_impl(impl: str | None = None) -> str:
+    """Resolve a k-mer engine name to ``"loop"`` or ``"batch"``.
+
+    ``None`` and ``"auto"`` defer to the :data:`KMER_IMPL_ENV` environment
+    variable when set (mirroring ``REPRO_ALIGN_IMPL`` / ``REPRO_EXECUTOR``),
+    else pick :data:`DEFAULT_KMER_IMPL`; explicit names pass through
+    validated.  Both engines produce byte-identical output — the switch is a
+    pure performance axis, with ``loop`` kept as the reference oracle.
+    """
+    if impl is None:
+        impl = "auto"
+    if impl == "auto":
+        env = os.environ.get(KMER_IMPL_ENV, "").strip().lower()
+        impl = env if env and env != "auto" else DEFAULT_KMER_IMPL
+    if impl not in KMER_IMPLS:
+        raise ValueError(f"unknown kmer impl {impl!r}; expected one of "
+                         f"{', '.join(KMER_IMPLS + ('auto',))}")
+    return impl
 
 
 # -- executor tasks (module-level so the process pool can pickle them) ------
 
 def _extract_task(ctx, owned_idx):
-    """One rank's k-mer extraction over its block of reads."""
+    """One rank's k-mer extraction over its block of reads (loop engine)."""
     reads, k = ctx
     parts = [read_kmers(reads[int(i)], k)[0] for i in owned_idx]
     return np.concatenate(parts) if parts else np.empty(0, np.uint64)
+
+
+def _extract_batch_task(ctx, task):
+    """One rank's k-mer extraction as a single SoA sweep (batch engine).
+
+    The task carries the rank's own ``(codes, offsets, lengths)`` block
+    (:meth:`~repro.seqs.fasta.ReadSet.soa_block`), so a process pool ships
+    each worker only its reads' bases.  Output order (read-major, window
+    order within a read) matches the loop engine's concatenation exactly.
+    """
+    k = ctx
+    codes, offsets, lengths = task
+    return read_kmers_batch(codes, offsets, lengths, k)[0]
 
 
 def _pass1_task(ctx, task):
@@ -62,18 +123,57 @@ def _pass1_task(ctx, task):
     return bloom, incoming[seen]
 
 
+def _pass1_batch_task(ctx, task):
+    """First-pass handling at one owner rank, batch engine.
+
+    Reduces the round's incoming k-mers to their ``(distinct key, count)``
+    histogram once, probes/sets the Bloom filter once per *distinct* key
+    (:meth:`~repro.seqs.bloom.BloomFilter.test_and_set`), and emits the
+    admitted distinct keys — exactly the key set the loop engine's
+    per-occurrence ``add_and_test`` + ``setdefault`` fold admits: a key is
+    admitted iff the pre-round filter knew it or it occurs at least twice
+    in the round.  The histogram rides back so pass 2 never recomputes it.
+    """
+    bloom, incoming = task
+    uniq, cnt = np.unique(incoming, return_counts=True)
+    pre = bloom.test_and_set(uniq)
+    admitted = uniq[pre | (cnt >= 2)]
+    return bloom, admitted, uniq, cnt
+
+
 def _pass2_task(ctx, task):
     """Second-pass handling at one owner rank: exact counting.
 
     ``admitted_keys`` is the rank's sorted admitted-key array — a compact
-    stand-in for the admission dict, so membership is one vectorized
+    stand-in for the admission table, so membership is one vectorized
     searchsorted instead of a Python dict probe per k-mer.  Returns the
-    (admitted key, count) arrays for the parent to fold into the dict.
+    (admitted key, count) arrays for the parent to fold into its table.
     """
     admitted_keys, incoming = task
     if admitted_keys.shape[0] == 0 or incoming.size == 0:
         return np.empty(0, np.uint64), np.empty(0, np.int64)
     uniq, cnt = np.unique(incoming, return_counts=True)
+    return _histogram_hits(admitted_keys, uniq, cnt)
+
+
+def _pass2_batch_task(ctx, task):
+    """Second-pass handling, batch engine: count from the cached histogram.
+
+    The per-round incoming set is identical in both passes (same k-mers,
+    same destinations, same round slicing), so the batch engine reuses the
+    ``(uniq, cnt)`` histogram pass 1 computed instead of re-sorting the
+    round's traffic — the exchange itself still runs for the communication
+    accounting.
+    """
+    admitted_keys, uniq, cnt = task
+    if admitted_keys.shape[0] == 0 or uniq.size == 0:
+        return np.empty(0, np.uint64), np.empty(0, np.int64)
+    return _histogram_hits(admitted_keys, uniq, cnt)
+
+
+def _histogram_hits(admitted_keys: np.ndarray, uniq: np.ndarray,
+                    cnt: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Filter a sorted (key, count) histogram to the admitted keys."""
     idx = np.searchsorted(admitted_keys, uniq)
     idx = np.minimum(idx, admitted_keys.shape[0] - 1)
     hit = admitted_keys[idx] == uniq
@@ -81,7 +181,7 @@ def _pass2_task(ctx, task):
 
 
 def _reliable_task(ctx, table):
-    """Reliable selection at one owner rank: multiplicity-range filter."""
+    """Reliable selection at one owner rank (loop engine's dict table)."""
     lower, upper = ctx
     if not table:
         return np.empty(0, np.uint64), np.empty(0, np.int64)
@@ -89,6 +189,39 @@ def _reliable_task(ctx, table):
     cc = np.fromiter(table.values(), dtype=np.int64, count=len(table))
     keep = (cc >= lower) & (cc <= upper)
     return kk[keep], cc[keep]
+
+
+def _reliable_batch_task(ctx, table):
+    """Reliable selection at one owner rank (batch engine's SoA table)."""
+    lower, upper = ctx
+    keys, counts = table
+    keep = (counts >= lower) & (counts <= upper)
+    return keys[keep], counts[keep]
+
+
+def _merge_admitted(keys: np.ndarray, counts: np.ndarray,
+                    cand: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Merge newly admitted keys (sorted, distinct) into a SoA table.
+
+    The vectorized ``setdefault``: keys already present keep their counts,
+    unseen keys are spliced in (in sorted position) with count 0.  One
+    merge per exchange round — never a per-key loop, and the table stays
+    sorted incrementally so pass 2 needs no re-sort.
+    """
+    if cand.size == 0:
+        return keys, counts
+    if keys.shape[0]:
+        idx = np.searchsorted(keys, cand)
+        present = np.zeros(cand.shape[0], dtype=bool)
+        inb = idx < keys.shape[0]
+        present[inb] = keys[idx[inb]] == cand[inb]
+        fresh = cand[~present]
+        if fresh.size == 0:
+            return keys, counts
+        at = idx[~present]
+        return (np.insert(keys, at, fresh),
+                np.insert(counts, at, 0))
+    return cand, np.zeros(cand.shape[0], dtype=np.int64)
 
 
 @dataclass
@@ -143,7 +276,8 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
                 timer: StageTimer | None = None, *,
                 batches: int = 1, bloom_fp: float = 0.01,
                 lower: int = 2, upper: int = 8,
-                executor: Executor | None = None) -> KmerTable:
+                executor: Executor | None = None,
+                impl: str | None = None) -> KmerTable:
     """Distributed two-pass k-mer counting.
 
     Parameters
@@ -168,6 +302,10 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
         work (extraction, Bloom handling, counting, selection) over real
         workers; ``None`` keeps the serial reference loop.  The resulting
         table is byte-identical either way.
+    impl:
+        K-mer engine (:func:`resolve_kmer_impl`): ``"batch"`` extracts and
+        counts through sorted structure-of-arrays tables, ``"loop"`` keeps
+        the per-read / per-key dict reference.  Byte-identical output.
 
     Returns
     -------
@@ -177,13 +315,22 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
     P = comm.nprocs
     timer = timer if timer is not None else StageTimer()
     executor = executor if executor is not None else SERIAL
-    owned = _partition_reads(reads, P)
+    impl = resolve_kmer_impl(impl)
+    bounds = block_bounds(len(reads), P)
 
     # Extract (canonical) k-mers per rank once; reused by both passes.
     with timer.superstep(STAGE) as step:
-        rank_kmers, secs = executor.run_timed(
-            _extract_task, owned, context=(reads, k),
-            weights=[idx.shape[0] for idx in owned])
+        if impl == "batch":
+            tasks = [reads.soa_block(int(bounds[p]), int(bounds[p + 1]))
+                     for p in range(P)]
+            rank_kmers, secs = executor.run_timed(
+                _extract_batch_task, tasks, context=k,
+                weights=[blk[0].shape[0] for blk in tasks])
+        else:
+            owned = _partition_reads(reads, P)
+            rank_kmers, secs = executor.run_timed(
+                _extract_task, owned, context=(reads, k),
+                weights=[idx.shape[0] for idx in owned])
         step.charge_many(range(P), secs)
 
     dest = [(splitmix64(km) % np.uint64(P)).astype(np.int64)
@@ -192,63 +339,145 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
     total_kmers = sum(km.shape[0] for km in rank_kmers)
     blooms = [BloomFilter(max(64, total_kmers // max(1, P)), bloom_fp)
               for _ in range(P)]
-    admitted: list[dict[int, int]] = [dict() for _ in range(P)]
 
-    def exchange_rounds(run_round) -> None:
+    def _group_by_dest_masks(sl: np.ndarray, dl: np.ndarray
+                             ) -> list[np.ndarray]:
+        """Reference send-list construction: one boolean mask per rank."""
+        return [sl[dl == q] for q in range(P)]
+
+    def _group_by_dest_sorted(sl: np.ndarray, dl: np.ndarray
+                              ) -> list[np.ndarray]:
+        """Batch engine's send-list construction: one stable sort.
+
+        A stable sort by destination groups the k-mers per rank while
+        preserving their original relative order, so every per-destination
+        subarray is byte-identical to the mask-based reference — in one
+        pass instead of ``P``.
+        """
+        order = np.argsort(dl, kind="stable")
+        sl = sl[order]
+        cuts = np.searchsorted(dl[order], np.arange(1, P, dtype=np.int64))
+        return np.split(sl, cuts)
+
+    group_by_dest = (_group_by_dest_sorted if impl == "batch"
+                     else _group_by_dest_masks)
+    # The batch engine builds each round's send lists once and replays them
+    # in pass 2 (both passes ship exactly the same k-mers to the same
+    # owners); the loop reference rebuilds them per pass.  The cache holds
+    # one dest-grouped copy of the extracted k-mers (~8 bytes each) across
+    # the stage — the price of skipping pass 2's regrouping sort.
+    send_cache: dict[int, list[list[np.ndarray]]] = {}
+
+    def exchange_rounds(run_round, *, cache_sends: bool = False,
+                        need_incoming: bool = True) -> None:
         """One pass = ``batches`` alltoallv rounds + local handling."""
         for b in range(batches):
-            send: list[list[np.ndarray]] = []
-            for p in range(P):
-                km = rank_kmers[p]
-                n = km.shape[0]
-                lo, hi = (n * b) // batches, (n * (b + 1)) // batches
-                sl, dl = km[lo:hi], dest[p][lo:hi]
-                send.append([sl[dl == q] for q in range(P)])
+            send = send_cache.get(b)
+            if send is None:
+                send = []
+                for p in range(P):
+                    km = rank_kmers[p]
+                    n = km.shape[0]
+                    lo, hi = (n * b) // batches, (n * (b + 1)) // batches
+                    send.append(group_by_dest(km[lo:hi], dest[p][lo:hi]))
+                if cache_sends:
+                    send_cache[b] = send
             recv = comm.alltoallv(send, stage=STAGE)
             incoming = [np.concatenate(recv[q]) if recv[q] else
-                        np.empty(0, np.uint64) for q in range(P)]
-            run_round(incoming)
+                        np.empty(0, np.uint64) for q in range(P)] \
+                if need_incoming else None
+            run_round(b, incoming)
 
-    # Pass 1: Bloom insertion; k-mers seen >= 2 enter the local table.
-    def pass1(incoming: list[np.ndarray]) -> None:
+    def run_superstep(fn, tasks, weights):
+        """One executor superstep charged to the owner ranks."""
         with timer.superstep(STAGE) as step:
-            out, secs = executor.run_timed(
+            out, secs = executor.run_timed(fn, tasks, weights=weights)
+            step.charge_many(range(P), secs)
+        return out
+
+    if impl == "batch":
+        # Sorted-array SoA admission/count tables: setdefault is a merge,
+        # accumulation a vectorized scatter-add — maintained incrementally
+        # sorted, so no pass ever re-materializes key arrays.  Each round's
+        # (distinct key, count) histogram from pass 1 is kept for pass 2.
+        tab_keys = [np.empty(0, np.uint64) for _ in range(P)]
+        tab_counts = [np.empty(0, np.int64) for _ in range(P)]
+        histograms: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+        def pass1(b: int, incoming: list[np.ndarray]) -> None:
+            out = run_superstep(
+                _pass1_batch_task,
+                [(blooms[q], incoming[q]) for q in range(P)],
+                [inc.shape[0] for inc in incoming])
+            histograms[b] = []
+            for q, (bloom, admitted_q, uniq, cnt) in enumerate(out):
+                blooms[q] = bloom
+                histograms[b].append((uniq, cnt))
+                tab_keys[q], tab_counts[q] = _merge_admitted(
+                    tab_keys[q], tab_counts[q], admitted_q)
+
+        def pass2(b: int, incoming) -> None:
+            hist = histograms[b]
+            out = run_superstep(
+                _pass2_batch_task,
+                [(tab_keys[q],) + hist[q] for q in range(P)],
+                [hist[q][0].shape[0] for q in range(P)])
+            for q, (hit_keys, cnt) in enumerate(out):
+                if hit_keys.size:
+                    # hit_keys are unique within a round, so a plain fancy
+                    # add accumulates exactly once per key.
+                    tab_counts[q][np.searchsorted(tab_keys[q],
+                                                  hit_keys)] += cnt
+
+        exchange_rounds(pass1, cache_sends=True)
+        exchange_rounds(pass2, need_incoming=False)
+        rel_tables: list = list(zip(tab_keys, tab_counts))
+        rel_fn = _reliable_batch_task
+        rel_weights = [kk.shape[0] for kk in tab_keys]
+    else:
+        admitted: list[dict[int, int]] = [dict() for _ in range(P)]
+
+        def pass1(b: int, incoming: list[np.ndarray]) -> None:
+            out = run_superstep(
                 _pass1_task,
                 [(blooms[q], incoming[q]) for q in range(P)],
-                weights=[inc.shape[0] for inc in incoming])
-            step.charge_many(range(P), secs)
-        for q, (bloom, new_keys) in enumerate(out):
-            blooms[q] = bloom
-            table = admitted[q]
-            for kv in new_keys:
-                table.setdefault(int(kv), 0)
+                [inc.shape[0] for inc in incoming])
+            for q, (bloom, new_keys) in enumerate(out):
+                blooms[q] = bloom
+                table = admitted[q]
+                for kv in new_keys:
+                    table.setdefault(int(kv), 0)
 
-    # Pass 2: exact counts for admitted k-mers.  Workers get each rank's
-    # sorted key array (compact, vectorizable); the dicts never move.
-    def pass2(incoming: list[np.ndarray]) -> None:
-        keys = [np.sort(np.fromiter(admitted[q].keys(), dtype=np.uint64,
-                                    count=len(admitted[q])))
-                for q in range(P)]
-        with timer.superstep(STAGE) as step:
-            out, secs = executor.run_timed(
+        def pass2(b: int, incoming: list[np.ndarray]) -> None:
+            out = run_superstep(
                 _pass2_task,
-                [(keys[q], incoming[q]) for q in range(P)],
-                weights=[inc.shape[0] for inc in incoming])
-            step.charge_many(range(P), secs)
-        for q, (hit_keys, counts) in enumerate(out):
-            table = admitted[q]
-            for kv, c in zip(hit_keys, counts):
-                table[int(kv)] += int(c)
+                [(pass2_keys[q], incoming[q]) for q in range(P)],
+                [inc.shape[0] for inc in incoming])
+            for q, (hit_keys, counts) in enumerate(out):
+                table = admitted[q]
+                for kv, c in zip(hit_keys, counts):
+                    table[int(kv)] += int(c)
 
-    exchange_rounds(pass1)
-    exchange_rounds(pass2)
+        exchange_rounds(pass1)
+        # The admitted key sets are frozen once pass 1 completes, so the
+        # sorted key arrays the pass-2 workers search are materialized
+        # exactly once — not per exchange round (the old per-batch
+        # ``np.fromiter`` rebuild was O(table) extra work per round).
+        pass2_keys = [np.sort(np.fromiter(admitted[q].keys(),
+                                          dtype=np.uint64,
+                                          count=len(admitted[q])))
+                      for q in range(P)]
+        exchange_rounds(pass2)
+        rel_tables = list(admitted)
+        rel_fn = _reliable_task
+        rel_weights = [len(t) for t in admitted]
 
     # Reliable selection + global dictionary assembly (an allgather of the
     # per-rank reliable sets; column ids are the sorted order).
     with timer.superstep(STAGE) as step:
         rel_parts, secs = executor.run_timed(
-            _reliable_task, admitted, context=(lower, upper),
-            weights=[len(t) for t in admitted])
+            rel_fn, rel_tables, context=(lower, upper),
+            weights=rel_weights)
         step.charge_many(range(P), secs)
     comm.allgather([p[0] for p in rel_parts], stage=STAGE)
     all_k = np.concatenate([p[0] for p in rel_parts])

@@ -20,6 +20,7 @@ __all__ = [
     "revcomp_kmers",
     "canonical_kmers",
     "read_kmers",
+    "read_kmers_batch",
     "kmer_to_string",
     "string_to_kmer",
     "splitmix64",
@@ -103,6 +104,105 @@ def read_kmers(codes: np.ndarray, k: int, canonical: bool = True
     if canonical:
         km = canonical_kmers(km, k)
     return km, pos
+
+
+def _pack_all_windows(buf: np.ndarray, k: int) -> np.ndarray:
+    """Pack every length-``k`` window of a contiguous code buffer.
+
+    Binary-doubling sweep: width-``w`` packs combine pairwise into
+    width-``2w`` packs, then the binary decomposition of ``k`` is stitched
+    together — ``O(log k)`` full-buffer operations instead of ``k``, with
+    exactly :func:`pack_kmers`' integer values (pure shifts and ORs).
+    """
+    n = buf.shape[0]
+    val = buf.astype(np.uint64)
+    packs = [(1, val)]
+    w = 1
+    while w * 2 <= k:
+        val = (val[:n - 2 * w + 1] << np.uint64(2 * w)) | val[w:n - w + 1]
+        w *= 2
+        packs.append((w, val))
+    cur: np.ndarray | None = None
+    have = 0
+    for w, val in reversed(packs):
+        if have + w > k:
+            continue
+        if cur is None:
+            cur = val
+        else:
+            keep = n - (have + w) + 1
+            cur = (cur[:keep] << np.uint64(2 * w)) | val[have:have + keep]
+        have += w
+    return cur[:n - k + 1]
+
+
+def read_kmers_batch(codes: np.ndarray, offsets: np.ndarray,
+                     lengths: np.ndarray, k: int, canonical: bool = True
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+    """K-mers of *many* reads in one vectorized pass over a SoA view.
+
+    The reads live in one shared ``codes`` buffer (read ``i`` occupies
+    ``codes[offsets[i]:offsets[i] + lengths[i]]`` — the layout of
+    :meth:`repro.seqs.fasta.ReadSet.soa`).  Every read's windows are packed,
+    canonicalized, and position/flip-annotated as column operations over the
+    whole batch: no Python-level dispatch per read.  Values are exactly those
+    of calling :func:`read_kmers` per read and concatenating (same packing
+    arithmetic, same canonical rule), in the same read-major order.
+
+    Parameters
+    ----------
+    codes:
+        ``uint8`` 2-bit code buffer shared by all addressed reads.
+    offsets, lengths:
+        Per-read start offsets into ``codes`` and read lengths (any subset
+        or ordering of a ReadSet's rows; reads shorter than ``k`` simply
+        contribute no windows).
+    k:
+        K-mer length.
+    canonical:
+        Canonicalize (and report which windows were flipped).
+
+    Returns
+    -------
+    (kmers, read_idx, pos, flip):
+        Packed ``uint64`` k-mers; the index **into** ``offsets``/``lengths``
+        of each k-mer's read; the window start position within the read; and
+        a boolean marking windows whose canonical form is the reverse
+        complement (all ``False`` when ``canonical=False``).
+    """
+    _check_k(k)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n_win = np.maximum(lengths - (k - 1), 0)
+    total = int(n_win.sum())
+    if total == 0:
+        return (np.empty(0, np.uint64), np.empty(0, np.int64),
+                np.empty(0, np.int64), np.zeros(0, dtype=bool))
+    read_idx = np.repeat(np.arange(lengths.shape[0], dtype=np.int64), n_win)
+    first_slot = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(n_win[:-1], out=first_slot[1:])
+    pos = np.arange(total, dtype=np.int64) - first_slot[read_idx]
+    gstart = offsets[read_idx] + pos
+    # Pack with a Horner sweep over the k base columns (exact integer
+    # arithmetic — identical to pack_kmers' window/weight product).  When
+    # the reads tile a contiguous stretch of ``codes`` (the SoA layout),
+    # sweep the raw buffer with contiguous slices and gather the valid
+    # window starts at the end; otherwise gather each window's bases first.
+    lo, hi = int(offsets[0]), int(offsets[-1] + lengths[-1])
+    contiguous = bool(np.all(offsets[1:] == offsets[:-1] + lengths[:-1]))
+    if contiguous and hi - lo >= k:
+        km = _pack_all_windows(codes[lo:hi], k)[gstart - lo]
+    else:
+        windows = codes[gstart[:, None]
+                        + np.arange(k, dtype=np.int64)[None, :]]
+        km = np.zeros(total, dtype=np.uint64)
+        for j in range(k):
+            km = (km << np.uint64(2)) | windows[:, j]
+    if not canonical:
+        return km, read_idx, pos, np.zeros(total, dtype=bool)
+    canon = canonical_kmers(km, k)
+    return canon, read_idx, pos, canon != km
 
 
 def kmer_to_string(kmer: int, k: int) -> str:

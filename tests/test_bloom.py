@@ -1,9 +1,15 @@
-"""Unit tests for the Bloom filter."""
+"""Unit and property tests for the Bloom filter."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.seqs.bloom import BloomFilter
+from repro.seqs.kmer_counter import KmerTable
+
+keys_arrays = st.lists(st.integers(0, 2 ** 62), min_size=0,
+                       max_size=200).map(
+    lambda xs: np.array(xs, dtype=np.uint64))
 
 
 def test_no_false_negatives():
@@ -62,3 +68,103 @@ def test_invalid_params():
         BloomFilter(capacity=0)
     with pytest.raises(ValueError):
         BloomFilter(capacity=10, fp_rate=1.5)
+
+
+# -- property tests ----------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(keys_arrays, keys_arrays)
+def test_property_no_false_negatives_ever(added, probed):
+    """Whatever was inserted — in any batch mix — always tests present."""
+    bf = BloomFilter(capacity=max(1, added.size + probed.size))
+    bf.add(added)
+    bf.add_and_test(probed)
+    assert bf.contains(added).all()
+    assert bf.contains(probed).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys_arrays, keys_arrays)
+def test_property_second_occurrence_always_admitted(pre, batch):
+    """``add_and_test`` never reports an actually-seen key as new:
+    any key inserted earlier, or duplicated within the batch, is seen."""
+    bf = BloomFilter(capacity=max(1, pre.size + batch.size))
+    bf.add(pre)
+    seen = bf.add_and_test(batch)
+    in_pre = np.isin(batch, pre)
+    assert seen[in_pre].all()
+    first_occurrence = np.zeros(batch.shape[0], dtype=bool)
+    first_occurrence[np.unique(batch, return_index=True)[1]] = True
+    assert seen[~first_occurrence].all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys_arrays, keys_arrays)
+def test_property_test_and_set_matches_add_and_test(pre, batch):
+    """The batch engine's single-probe primitive equals the reference on
+    distinct keys: same pre-state answers, same final filter state."""
+    uniq = np.unique(batch)
+    ref, fast = (BloomFilter(capacity=max(1, pre.size + batch.size))
+                 for _ in range(2))
+    ref.add(pre)
+    fast.add(pre)
+    assert np.array_equal(ref._slots, fast._slots)
+    assert np.array_equal(ref.add_and_test(uniq), fast.test_and_set(uniq))
+    assert np.array_equal(ref._slots, fast._slots)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys_arrays)
+def test_property_intra_batch_duplicates(batch):
+    """Occurrences 2..n of a key inside one batch are admitted; the whole
+    batch is inserted afterwards."""
+    bf = BloomFilter(capacity=max(1, batch.size), fp_rate=0.001)
+    seen = bf.add_and_test(batch)
+    order = np.argsort(batch, kind="stable")
+    sb = batch[order]
+    dup_of_prev = np.zeros(sb.shape[0], dtype=bool)
+    dup_of_prev[1:] = sb[1:] == sb[:-1]
+    # Duplicates must be seen regardless of the filter's false positives.
+    assert seen[order][dup_of_prev].all()
+    assert bf.contains(batch).all()
+
+
+def test_test_and_set_empty():
+    bf = BloomFilter(capacity=10)
+    assert bf.test_and_set(np.empty(0, dtype=np.uint64)).shape == (0,)
+
+
+def test_n_bits_power_of_two():
+    for cap in (1, 7, 100, 12345):
+        bf = BloomFilter(capacity=cap)
+        assert bf.n_bits & (bf.n_bits - 1) == 0
+
+
+# -- KmerTable.lookup edge cases --------------------------------------------
+
+def _table(keys):
+    keys = np.array(sorted(keys), dtype=np.uint64)
+    return KmerTable(k=17, kmers=keys,
+                     counts=np.full(keys.shape[0], 2, dtype=np.int64),
+                     lower=2, upper=4)
+
+
+def test_lookup_empty_table():
+    table = _table([])
+    ids = table.lookup(np.array([0, 5, 2 ** 62], dtype=np.uint64))
+    assert (ids == -1).all()
+    assert table.lookup(np.empty(0, dtype=np.uint64)).shape == (0,)
+
+
+def test_lookup_below_and_above_all_entries():
+    table = _table([100, 200, 300])
+    ids = table.lookup(np.array([0, 99, 301, 2 ** 62], dtype=np.uint64))
+    assert (ids == -1).all()
+    ids = table.lookup(np.array([100, 300, 200], dtype=np.uint64))
+    assert ids.tolist() == [0, 2, 1]
+
+
+def test_lookup_single_entry_table():
+    table = _table([42])
+    ids = table.lookup(np.array([41, 42, 43], dtype=np.uint64))
+    assert ids.tolist() == [-1, 0, -1]

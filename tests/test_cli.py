@@ -87,6 +87,7 @@ def test_parser_defaults_match_pipeline_config():
         assert args.nprocs == cfg.nprocs
         assert args.align_mode == cfg.align_mode
         assert args.align_impl == cfg.align_impl
+        assert args.kmer_impl == cfg.kmer_impl
         assert args.fuzz == cfg.fuzz
         assert args.depth_hint == cfg.depth_hint
         assert args.error_hint == cfg.error_hint
@@ -96,6 +97,17 @@ def test_parser_defaults_match_pipeline_config():
         assert args.overlap_mode == cfg.overlap_mode
         assert args.n_strips == cfg.n_strips
         assert args.memory_budget == cfg.memory_budget
+
+
+def test_stats_prints_kmer_engine(tmp_path, capsys):
+    reads = tmp_path / "reads.fa"
+    main(["simulate", str(reads), "--genome-length", "6000",
+          "--depth", "8", "--error-rate", "0.0", "--seed", "2"])
+    rc = main(["stats", str(reads), "--nprocs", "1", "--fuzz", "20",
+               "--depth-hint", "8", "--error-hint", "0.0",
+               "--kmer-impl", "loop"])
+    assert rc == 0
+    assert "k-mer counting: loop engine" in capsys.readouterr().out
 
 
 def test_parser_memory_budget_suffixes():

@@ -1,0 +1,171 @@
+"""Golden end-to-end snapshot suite.
+
+Every PR so far has *claimed* "byte-identical output" along some axis —
+backends (PR 1), executors (PR 2), blocked overlap (PR 3), alignment
+engines (PR 4), k-mer engines (PR 5).  This suite finally pins the claim
+globally: one fixed-seed dataset runs through the full pipeline across the
+``executor × overlap-mode × align-impl × kmer-impl`` cross-product, and the
+digests of S, R, the contig layout, the communication records, and the
+peak-memory marks must all equal the stored golden values.
+
+If a future PR *intentionally* changes pipeline output, it must update the
+``GOLDEN`` constants below (the assertion message prints the new digests) —
+making every silent behavioral drift a test failure instead of a footnote.
+
+Everything digested is integer-valued and RNG-stream-stable (fixed PCG64
+seeds, integer alignment scores, explicit ``kmer_upper`` so no float model
+sits on the critical path), so the digests are platform-independent.
+"""
+
+import hashlib
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.contigs import extract_contigs
+from repro.core.overlap import (align_candidates, build_a_matrix,
+                                candidate_overlaps)
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
+from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
+from repro.seqs.kmer_counter import count_kmers
+
+K = 17
+NPROCS = 4
+KMER_UPPER = 24
+
+EXECUTORS = [("serial", 1), ("thread", 3), ("process", 2)]
+OVERLAP_MODES = ["monolithic", "blocked"]
+ALIGN_IMPLS = ["loop", "batch"]
+KMER_IMPLS = ["loop", "batch"]
+
+#: Golden digests of the fixed-seed run.  S and the contig layout are
+#: invariant across *every* axis; the communication records and peak marks
+#: are invariant across executors and engines but legitimately differ
+#: between monolithic and blocked candidate formation (blocked runs one
+#: SUMMA per strip and holds smaller candidate peaks — that is its point).
+GOLDEN = {
+    "S": "bce02a9f21bd33e20a0a076940bb08a6c1e628435f6bd9fe8301ea8e43211ad2",
+    "R": "50d4eaa5a0aa3dc9fd206419f558d12b2fe60398c87b566fada2cf168afbe93a",
+    "contigs": "3c6ae1b223e149e8d8cbd24c9f57923bb7da71a9a125d775575210eb9d80bf6a",
+    "counts": (88231, 1334, 1338, 726),  # nnz A, C, R, S
+    "tracker": {
+        "monolithic":
+            "4dbd7670092db728b0f2868a88731a4d34366e051ec330ea6ab0684af4ecf35c",
+        "blocked":
+            "84581ee8562fb7bbc8c791e1dcdcc6ff3b4f57bca1a78e2f0b2cabe99fae073a",
+    },
+    "peaks": {
+        "monolithic":
+            "8f1c6d1424630f3b0ed71e3f125dd77e3f488c3072400deab3e413934365692d",
+        "blocked":
+            "a3076683323e2272c31b93bf693cd39c4571d67c31e861a99e3f5f079685ea17",
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def golden_reads():
+    """Fixed-seed error-free dataset (PCG64 streams are version-stable)."""
+    _genome, reads, _layout = simulate_reads(
+        ReadSimSpec(GenomeSpec(length=9_000, seed=21), depth=10,
+                    mean_len=650, min_len=350, sigma_len=0.2,
+                    error=ErrorModel(rate=0.0), seed=22))
+    return reads
+
+
+def _sha(*arrays) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _sha_text(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _contig_digest(graph) -> str:
+    contigs = extract_contigs(graph)
+    # Canonical form: every maximal walk as (reads, orientations) tuples,
+    # sorted — independent of extraction order.
+    canon = sorted((tuple(c.reads), tuple(c.orientations)) for c in contigs)
+    return _sha_text(repr(canon))
+
+
+def _tracker_digest(tracker) -> str:
+    summary = tracker.summary()
+    lines = [f"{stage}:{rec['total_bytes']:.0f}:{rec['max_bytes']:.0f}:"
+             f"{rec['total_messages']}:{rec['max_messages']}"
+             for stage, rec in sorted(summary.items())]
+    return _sha_text("|".join(lines))
+
+
+def _peaks_digest(timer) -> str:
+    peaks = timer.peak_bytes()
+    return _sha_text(repr(sorted(peaks.items())))
+
+
+def _config(executor, workers, overlap_mode, align_impl, kmer_impl):
+    return PipelineConfig(
+        k=K, nprocs=NPROCS, align_mode="xdrop", fuzz=60,
+        kmer_upper=KMER_UPPER, executor=executor, workers=workers,
+        overlap_mode=overlap_mode, n_strips=3 if overlap_mode == "blocked"
+        else None, align_impl=align_impl, kmer_impl=kmer_impl)
+
+
+COMBOS = list(itertools.product(EXECUTORS, OVERLAP_MODES, ALIGN_IMPLS,
+                                KMER_IMPLS))
+
+
+@pytest.mark.parametrize(
+    "executor_workers,overlap_mode,align_impl,kmer_impl", COMBOS,
+    ids=[f"{e[0]}{e[1]}-{o}-a{a}-k{km}" for e, o, a, km in COMBOS])
+def test_golden_pipeline(golden_reads, executor_workers, overlap_mode,
+                         align_impl, kmer_impl):
+    executor, workers = executor_workers
+    result = run_pipeline(golden_reads,
+                          _config(executor, workers, overlap_mode,
+                                  align_impl, kmer_impl))
+    got = {
+        "S": _sha(result.S.row, result.S.col, result.S.vals),
+        "contigs": _contig_digest(result.string_graph),
+        "counts": (result.nnz_a, result.nnz_c, result.nnz_r, result.nnz_s),
+        "tracker": _tracker_digest(result.tracker),
+        "peaks": _peaks_digest(result.timer),
+    }
+    expect = {
+        "S": GOLDEN["S"],
+        "contigs": GOLDEN["contigs"],
+        "counts": GOLDEN["counts"],
+        "tracker": GOLDEN["tracker"][overlap_mode],
+        "peaks": GOLDEN["peaks"][overlap_mode],
+    }
+    assert got == expect, (
+        f"golden pipeline drift under executor={executor}/{workers} "
+        f"overlap={overlap_mode} align={align_impl} kmer={kmer_impl}.\n"
+        f"If this change is intentional, update GOLDEN to:\n{got!r}")
+
+
+@pytest.mark.parametrize("align_impl", ALIGN_IMPLS)
+@pytest.mark.parametrize("kmer_impl", KMER_IMPLS)
+def test_golden_overlap_r(golden_reads, align_impl, kmer_impl):
+    """R itself (not just its cardinality) matches the stored digest for
+    every engine combination."""
+    comm = SimComm(NPROCS, CommTracker(NPROCS))
+    timer = StageTimer()
+    table = count_kmers(golden_reads, K, comm, timer, upper=KMER_UPPER,
+                        impl=kmer_impl)
+    A = build_a_matrix(golden_reads, table, ProcessGrid2D(NPROCS), comm,
+                       timer, impl=kmer_impl)
+    C = candidate_overlaps(A, comm, timer)
+    R = align_candidates(C, golden_reads, K, comm, timer, mode="xdrop",
+                         fuzz=60, impl=align_impl)
+    g = R.to_global()
+    got = _sha(g.row, g.col, g.vals)
+    assert got == GOLDEN["R"], (
+        f"golden R drift under align={align_impl} kmer={kmer_impl}; "
+        f"new digest {got}")
