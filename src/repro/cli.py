@@ -22,6 +22,7 @@ from .core.contigs import extract_contigs
 from .core.memory import OVERLAP_MODES, format_bytes, parse_bytes
 from .core.pipeline import STAGES, PipelineConfig, run_pipeline_from_fasta
 from .dsparse.backend import available_backends
+from .dsparse.masked import SPGEMM_IMPLS
 from .exec import available_executors
 from .mpisim.machine import MACHINES
 from .seqs.dna import GenomeSpec
@@ -99,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-key dict reference oracle; 'auto' honors "
                             "REPRO_KMER_IMPL, else batch (results are "
                             "engine-independent)")
+        p.add_argument("--spgemm-impl", choices=("auto",) + SPGEMM_IMPLS,
+                       default=cfg.spgemm_impl,
+                       help="SpGEMM engine for the multi-field semiring "
+                            "products: 'masked' decomposes C = A*At into a "
+                            "native count product plus a mask-pruned ESC "
+                            "seed pass and squares R under its own pattern "
+                            "in transitive reduction, 'esc' runs the "
+                            "monolithic expand-sort-compress reference "
+                            "oracle; 'auto' honors REPRO_SPGEMM_IMPL, else "
+                            "masked (results are engine-independent)")
         p.add_argument("--fuzz", type=int, default=cfg.fuzz)
         p.add_argument("--depth-hint", type=float, default=cfg.depth_hint)
         p.add_argument("--error-hint", type=float, default=cfg.error_hint)
@@ -166,7 +177,8 @@ def _run(args):
     cfg = PipelineConfig(k=args.k, nprocs=args.nprocs,
                          align_mode=args.align_mode,
                          align_impl=args.align_impl,
-                         kmer_impl=args.kmer_impl, fuzz=args.fuzz,
+                         kmer_impl=args.kmer_impl,
+                         spgemm_impl=args.spgemm_impl, fuzz=args.fuzz,
                          depth_hint=args.depth_hint,
                          error_hint=args.error_hint,
                          backend=args.backend,
@@ -183,12 +195,21 @@ def _print_stats(result, machine_name: str) -> None:
     print(f"alignment: {result.config.align_mode} mode, "
           f"{result.align_impl} engine")
     print(f"k-mer counting: {result.kmer_impl} engine")
+    print(f"spgemm: {result.spgemm_impl} engine")
     if result.overlap_mode == "blocked":
         print(f"overlap mode: blocked ({result.n_strips} strips)")
     print(f"nnz(C) = {result.nnz_c}  (c = {result.c_density:.1f})")
     print(f"nnz(R) = {result.nnz_r}  (r = {result.r_density:.1f})")
     print(f"nnz(S) = {result.nnz_s}  (s = {result.s_density:.1f}), "
           f"{result.tr_rounds} reduction rounds")
+    paths = result.spgemm_paths
+    if paths:
+        print("spgemm kernel dispatch per stage (block products):")
+        for stage in STAGES:
+            if stage in paths:
+                breakdown = "  ".join(f"{path}={n}" for path, n in
+                                      sorted(paths[stage].items()))
+                print(f"  {stage:13s} {breakdown}")
     peaks = result.peak_bytes
     if peaks:
         print("peak live matrix bytes per stage:")

@@ -31,15 +31,15 @@ from ..align.batch import resolve_align_impl
 from ..align.xdrop import Scoring
 from ..dsparse.backend import Backend, get_backend
 from ..dsparse.distmat import DistMat
-from ..dsparse.summa import summa
+from ..dsparse.masked import resolve_spgemm_impl
 from ..exec import Executor, SERIAL
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import block_bounds
 from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet
 from .memory import coo_nbytes
-from .overlap import AlignmentFilter, align_candidates
-from .semirings import PositionsSemiring, R_NFIELDS
+from .overlap import AlignmentFilter, align_candidates, summa_positions
+from .semirings import R_NFIELDS
 
 __all__ = ["BlockedOverlapResult", "candidate_overlaps_blocked"]
 
@@ -81,7 +81,8 @@ def _strip_task(ctx, task):
     ``Aᵀ`` strip (sliced in the parent), so a process pool never ships the
     full transpose to a worker.
     """
-    A, reads, k, nprocs, mode, scoring, filt, fuzz, backend, align_impl = ctx
+    A, reads, k, nprocs, mode, scoring, filt, fuzz, backend, align_impl, \
+        spgemm_impl = ctx
     lo, hi, At_strip = task
     backend = get_backend(backend)
     tracker = CommTracker(nprocs)
@@ -89,11 +90,12 @@ def _strip_task(ctx, task):
     timer = StageTimer()
     n = A.shape[0]
 
-    C_strip = summa(A, At_strip, PositionsSemiring(), comm, "SpGEMM", timer,
-                    backend=backend)
-    # The expansion peak: the strip as SUMMA produced it, before pruning.
-    timer.record_peak_bytes(
-        "SpGEMM", coo_nbytes(C_strip.nnz(), C_strip.nfields))
+    # The strip product (the expansion peak — the strip as SUMMA produced
+    # it, before pruning — is recorded inside, from the count pattern when
+    # the masked engine decomposes the product with the strip's column
+    # offset in its triangle mask).
+    C_strip = summa_positions(A, At_strip, comm, timer, backend, None,
+                              spgemm_impl, col_offset=lo)
     # Keep the strict upper triangle in *global* coordinates.
     q = C_strip.grid.q
     blocks = []
@@ -128,7 +130,8 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
                                fuzz: int = 100,
                                backend: Backend | str | None = None,
                                executor: Executor | None = None,
-                               align_impl: str | None = None
+                               align_impl: str | None = None,
+                               spgemm_impl: str | None = None
                                ) -> BlockedOverlapResult:
     """Strip-mined ``C = A·Aᵀ`` with per-strip alignment and pruning.
 
@@ -148,6 +151,7 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
     scoring = scoring if scoring is not None else Scoring()
     filt = filt if filt is not None else AlignmentFilter()
     align_impl = resolve_align_impl(align_impl)
+    spgemm_impl = resolve_spgemm_impl(spgemm_impl)
     n = A.shape[0]
     At = A.transpose(backend=backend)
     bounds = block_bounds(n, n_strips)
@@ -159,7 +163,7 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
     del At
 
     ctx = (A, reads, k, comm.nprocs, mode, scoring, filt, fuzz, backend,
-           align_impl)
+           align_impl, spgemm_impl)
     # Weight by the strip's At entries — the SUMMA flops and downstream
     # candidate count scale with them, while block_bounds makes the column
     # widths near-uniform and thus balance-blind under skew.

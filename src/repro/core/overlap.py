@@ -34,12 +34,14 @@ from ..align.xdrop import AlignmentResult, Scoring, chain_extend, \
 from ..dsparse.backend import Backend, get_backend
 from ..dsparse.coomat import CooMat
 from ..dsparse.distmat import DistMat
+from ..dsparse.masked import resolve_spgemm_impl
+from ..dsparse.semiring import PlusTimes
 from ..dsparse.summa import summa
 from ..exec import Executor, SERIAL
 from ..exec.partition import weighted_chunks
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D, block_bounds
-from ..mpisim.tracker import StageTimer
+from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet
 from ..seqs.kmer_counter import KmerTable, resolve_kmer_impl
 from ..seqs.kmers import canonical_kmers, pack_kmers, read_kmers_batch
@@ -202,27 +204,101 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
     return DistMat.from_coo((n, m), grid, row, col, vals)
 
 
-def candidate_overlaps(A: DistMat, comm: SimComm,
-                       timer: StageTimer | None = None,
-                       backend: Backend | str | None = None,
-                       executor: Executor | None = None) -> DistMat:
-    """``C = A·Aᵀ`` via Sparse SUMMA, upper-triangle only.
+def _pattern_of(M: DistMat) -> DistMat:
+    """``M``'s pattern with unit values (blocks share M's index arrays)."""
+    blocks = [[CooMat(b.shape, b.row, b.col,
+                      np.ones((b.nnz, 1), dtype=np.int64), checked=True)
+               for b in brow] for brow in M.blocks]
+    return DistMat(M.shape, M.grid, blocks, 1)
 
-    The product is symmetric (shared k-mer counts), so only ``i < j`` entries
-    are kept for alignment; the symmetric R entries are regenerated after
-    alignment.  Diagonal entries (a read with itself) are discarded.
-    ``backend`` selects the local kernels (transpose, SpGEMM, filter);
-    ``executor`` parallelizes SUMMA's local block work.
+
+def _upper_triangle_mask(count: DistMat, col_offset: int = 0) -> DistMat:
+    """Strict-upper-triangle subset of ``count``'s pattern.
+
+    ``col_offset`` shifts local columns into global coordinates for the
+    blocked mode's strips (strip columns start at ``lo``).
     """
-    timer = timer if timer is not None else StageTimer()
-    backend = get_backend(backend)
-    At = A.transpose(backend=backend)
+    q = count.grid.q
+    blocks = []
+    for i in range(q):
+        brow = []
+        for j in range(q):
+            b = count.blocks[i][j]
+            gr = b.row + count.row_bounds[i]
+            gc = b.col + count.col_bounds[j] + col_offset
+            brow.append(b.select(gr < gc))
+        blocks.append(brow)
+    return DistMat(count.shape, count.grid, blocks, 1)
+
+
+def summa_positions(A: DistMat, At: DistMat, comm: SimComm,
+                    timer: StageTimer, backend: Backend,
+                    executor: Executor | None, spgemm_impl: str,
+                    col_offset: int = 0) -> DistMat:
+    """The candidate product ``C = A·Aᵀ`` under the positions semiring.
+
+    ``spgemm_impl="esc"`` runs the monolithic 7-field product.
+    ``"masked"`` decomposes it (the tentpole's CombBLAS-style split):
+
+    1. the **count field** runs as a scalar PlusTimes product over the
+       operands' unit-valued patterns — ``A``'s pattern is all-ones, so the
+       native CSR lowering applies exactly and produces the same nonzero
+       set as the full product (the positions multiply has no validity
+       mask);
+    2. the strict upper triangle of that pattern (shifted by
+       ``col_offset`` for blocked strips) becomes the output mask;
+    3. the multi-field seed-gathering ESC pass runs **masked** to the
+       surviving coordinates — roughly the diagonal plus half the
+       off-diagonal products never reach the sort.
+
+    A fused implementation broadcasts each A/At block once per SUMMA stage
+    and computes both sub-products from the received pair, so the count
+    pass adds no traffic: it runs against a throwaway communicator, and the
+    masked pass — broadcasting the same full 2-field blocks as the
+    monolithic product — carries the stage's entire (identical) volume.
+    Output, entry order, and the recorded SpGEMM peak (the full product's
+    footprint, which the count pattern sizes exactly) are all byte-identical
+    between the two engines.
+    """
+    if spgemm_impl == "masked":
+        count = summa(_pattern_of(A), _pattern_of(At), PlusTimes(),
+                      SimComm(comm.nprocs, CommTracker(comm.nprocs)),
+                      "SpGEMM", timer, backend=backend, executor=executor)
+        timer.record_peak_bytes("SpGEMM",
+                                coo_nbytes(count.nnz(), C_NFIELDS))
+        mask = _upper_triangle_mask(count, col_offset)
+        return summa(A, At, PositionsSemiring(), comm, "SpGEMM", timer,
+                     backend=backend, executor=executor, mask=mask)
     C = summa(A, At, PositionsSemiring(), comm, "SpGEMM", timer,
               backend=backend, executor=executor)
     # The candidate-matrix high-water mark: the full product as SUMMA
     # produced it, before the triangle prune (what the blocked mode divides
     # by its strip count).
     timer.record_peak_bytes("SpGEMM", coo_nbytes(C.nnz(), C.nfields))
+    return C
+
+
+def candidate_overlaps(A: DistMat, comm: SimComm,
+                       timer: StageTimer | None = None,
+                       backend: Backend | str | None = None,
+                       executor: Executor | None = None,
+                       spgemm_impl: str | None = None) -> DistMat:
+    """``C = A·Aᵀ`` via Sparse SUMMA, upper-triangle only.
+
+    The product is symmetric (shared k-mer counts), so only ``i < j`` entries
+    are kept for alignment; the symmetric R entries are regenerated after
+    alignment.  Diagonal entries (a read with itself) are discarded.
+    ``backend`` selects the local kernels (transpose, SpGEMM, filter);
+    ``executor`` parallelizes SUMMA's local block work; ``spgemm_impl``
+    (:func:`~repro.dsparse.masked.resolve_spgemm_impl`) picks the product
+    engine — ``"masked"`` decomposes count and seed passes
+    (:func:`summa_positions`), ``"esc"`` is the monolithic oracle.
+    """
+    timer = timer if timer is not None else StageTimer()
+    backend = get_backend(backend)
+    spgemm_impl = resolve_spgemm_impl(spgemm_impl)
+    At = A.transpose(backend=backend)
+    C = summa_positions(A, At, comm, timer, backend, executor, spgemm_impl)
     q = C.grid.q
     rb, cbb = C.row_bounds, C.col_bounds
     blocks = []

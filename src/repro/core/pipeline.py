@@ -25,6 +25,7 @@ from ..align.batch import resolve_align_impl
 from ..align.xdrop import Scoring
 from ..dsparse.backend import get_backend
 from ..dsparse.coomat import CooMat
+from ..dsparse.masked import resolve_spgemm_impl
 from ..exec import get_executor, resolve_workers
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D
@@ -77,6 +78,17 @@ class PipelineConfig:
     ``REPRO_ALIGN_IMPL`` environment variable, else runs ``batch``.  Output
     is byte-identical across engines.
 
+    ``spgemm_impl`` selects the engine for the two multi-field semiring
+    products (:func:`repro.dsparse.masked.resolve_spgemm_impl`):
+    ``"masked"`` decomposes ``C = A·Aᵀ`` into a native scalar count product
+    plus a mask-pruned ESC seed pass, and squares ``R`` under its own
+    pattern in transitive reduction; ``"esc"`` runs the monolithic
+    expand-sort-compress reference; ``"auto"`` honors
+    ``REPRO_SPGEMM_IMPL``, else runs ``masked``.  C, R, S, and the
+    communication records are byte-identical across engines (only the
+    ``TrReduction`` live-set peak differs — the masked ``N`` genuinely
+    holds fewer entries).
+
     ``kmer_impl`` does the same for the k-mer stages
     (:func:`repro.seqs.kmer_counter.resolve_kmer_impl`): ``"batch"`` runs
     ``CountKmer`` extraction/admission/counting over sorted
@@ -102,6 +114,7 @@ class PipelineConfig:
     align_mode: str = "xdrop"
     align_impl: str = "auto"
     kmer_impl: str = "auto"
+    spgemm_impl: str = "auto"
     scoring: Scoring = field(default_factory=Scoring)
     filt: AlignmentFilter = field(default_factory=AlignmentFilter)
     fuzz: int = 150
@@ -138,6 +151,12 @@ class PipelineResult:
     n_strips: int = 1
     align_impl: str = "batch"
     kmer_impl: str = "batch"
+    spgemm_impl: str = "masked"
+
+    @property
+    def spgemm_paths(self) -> dict[str, dict[str, int]]:
+        """Per-stage SpGEMM kernel-dispatch counters (``repro stats``)."""
+        return self.timer.kernel_counts()
 
     # -- paper statistics ---------------------------------------------------
     @property
@@ -215,6 +234,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     overlap_mode = resolve_overlap_mode(config.overlap_mode)
     align_impl = resolve_align_impl(config.align_impl)
     kmer_impl = resolve_kmer_impl(config.kmer_impl)
+    spgemm_impl = resolve_spgemm_impl(config.spgemm_impl)
     grid = ProcessGrid2D(config.nprocs)
     tracker = CommTracker(config.nprocs)
     comm = SimComm(config.nprocs, tracker)
@@ -247,11 +267,12 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
                 A, reads, config.k, comm, plan.n_strips, timer,
                 mode=config.align_mode, scoring=config.scoring,
                 filt=config.filt, fuzz=config.fuzz, backend=backend,
-                executor=ex, align_impl=align_impl)
+                executor=ex, align_impl=align_impl,
+                spgemm_impl=spgemm_impl)
             nnz_c, R, n_strips = blk.nnz_c, blk.R, blk.n_strips
         else:
             C = candidate_overlaps(A, comm, timer, backend=backend,
-                                   executor=ex)
+                                   executor=ex, spgemm_impl=spgemm_impl)
             nnz_c = C.nnz()
             R = align_candidates(C, reads, config.k, comm, timer,
                                  mode=config.align_mode,
@@ -262,7 +283,8 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         nnz_r = R.nnz()
         tr = transitive_reduction(R, comm, timer, fuzz=config.fuzz,
                                   max_rounds=config.max_tr_rounds,
-                                  backend=backend, executor=ex)
+                                  backend=backend, executor=ex,
+                                  spgemm_impl=spgemm_impl)
     S_global = tr.S.to_global()
     return PipelineResult(
         config=config, n_reads=len(reads), n_kmers=len(table),
@@ -270,7 +292,8 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         nnz_a=nnz_a, nnz_c=nnz_c, nnz_r=nnz_r, nnz_s=tr.S.nnz(),
         tr_rounds=tr.rounds, timer=timer, tracker=tracker,
         overlap_mode=overlap_mode, n_strips=n_strips,
-        align_impl=align_impl, kmer_impl=kmer_impl)
+        align_impl=align_impl, kmer_impl=kmer_impl,
+        spgemm_impl=spgemm_impl)
 
 
 def run_pipeline_from_fasta(path, config: PipelineConfig | None = None

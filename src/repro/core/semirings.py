@@ -78,6 +78,12 @@ class PositionsSemiring(Semiring):
 
     out_nfields = 7
 
+    #: A freshly multiplied group's reduce reads only its first two products
+    #: (the stored seed pair) and its size (the count field — every product
+    #: carries count 1), so the masked ESC kernel may multiply just two
+    #: products per output coordinate.  See Semiring.reduce_truncated.
+    product_reduce_depth = 2
+
     def multiply(self, avals, bvals):
         n = avals.shape[0]
         out = np.full((n, 7), -1, dtype=np.int64)
@@ -93,6 +99,20 @@ class PositionsSemiring(Semiring):
         # Back-fill the second seed from the following group row when the
         # leading row carries only one seed.
         need2 = (out[:, C_PA2] < 0) & (counts >= 2)
+        src = starts + 1
+        out[need2, C_PA2] = vals[src[need2], C_PA1]
+        out[need2, C_PB2] = vals[src[need2], C_PB1]
+        out[need2, C_STRAND2] = vals[src[need2], C_STRAND1]
+        return out
+
+    def reduce_truncated(self, vals, starts, counts):
+        # Same fold over groups clipped to their first two products: the
+        # count field is the true group size (every fresh product carries
+        # count 1, so the full reduce's segment sum equals it) and the
+        # second seed comes from the group's second product when present.
+        out = vals[starts].copy()
+        out[:, C_COUNT] = counts
+        need2 = counts >= 2
         src = starts + 1
         out[need2, C_PA2] = vals[src[need2], C_PA1]
         out[need2, C_PB2] = vals[src[need2], C_PB1]

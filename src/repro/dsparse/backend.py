@@ -13,9 +13,11 @@ Shipped backends
 
 ``numpy``
     The reference implementation: the vectorized expand-sort-compress
-    SpGEMM (:func:`~repro.dsparse.spgemm.spgemm_esc`) and pure-numpy
-    element-wise kernels.  Handles every semiring, including the
-    multi-field ones (:class:`~repro.core.semirings.PositionsSemiring`,
+    SpGEMM (:func:`~repro.dsparse.spgemm.spgemm_esc`, or its masked
+    variant :func:`~repro.dsparse.masked.spgemm_esc_masked` when the caller
+    supplies an output-pattern mask) and pure-numpy element-wise kernels.
+    Handles every semiring, including the multi-field ones
+    (:class:`~repro.core.semirings.PositionsSemiring`,
     :class:`~repro.core.semirings.BidirectedMinPlus`).
 
 ``scipy``
@@ -25,12 +27,23 @@ Shipped backends
     cached on :class:`~repro.dsparse.coomat.CooMat`.  The C kernels run
     2–4x faster than the ESC path on counting/structural products at
     realistic sizes (see ``benchmarks/bench_ablation_backend.py``), and the
-    gap widens as products densify.
+    gap widens as products densify.  Masked scalar products run native
+    first, then intersect with the mask (``masked_csr``).
     Everything it cannot lower *byte-identically* falls back to the numpy
     kernels: multi-field semirings, MinPlus (scipy has no tropical product),
     and scalar operands whose values could cancel or vanish (scipy prunes
     explicit zeros that ESC keeps, so PlusTimes requires strictly positive
     values and BoolOr all-nonzero values to lower).
+
+Multi-field semirings always execute on the ESC kernels, but since the
+masked engine (``spgemm_impl="masked"``, PR 6) the *consumers* decompose
+them: the overlap stage computes the scalar count field natively and feeds
+the surviving pattern back as a mask for the multi-field seed pass, and
+transitive reduction squares ``R`` under its own pattern — so the ESC work
+left is proportional to the masked output, not the full product.  Every
+product still reports which path it took through :meth:`Backend.
+spgemm_with_path` (``"esc" | "masked_esc" | "csr" | "masked_csr"``), the
+hook the per-stage kernel-dispatch counters are built on.
 
 ``auto``
     The default: per-call dispatch with exactly the ``scipy`` policy —
@@ -48,6 +61,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .coomat import CooMat
+from .masked import mask_select, spgemm_esc_masked
 from .semiring import Semiring
 from .spgemm import expand_products, multiway_merge, spgemm_esc
 
@@ -73,8 +87,26 @@ class Backend:
     name: str = "abstract"
 
     # -- SpGEMM -------------------------------------------------------------
-    def spgemm(self, A: CooMat, B: CooMat, semiring: Semiring) -> CooMat:
-        """Local semiring product ``C = A ⊗ B``."""
+    def spgemm(self, A: CooMat, B: CooMat, semiring: Semiring,
+               mask: CooMat | None = None) -> CooMat:
+        """Local semiring product ``C = A ⊗ B``.
+
+        With ``mask`` (a :class:`CooMat` consulted for pattern only), the
+        result is ``(A ⊗ B) ∩ mask`` — byte-identical to computing the full
+        product and intersecting, but implementations prune early.
+        """
+        return self.spgemm_with_path(A, B, semiring, mask)[0]
+
+    def spgemm_with_path(self, A: CooMat, B: CooMat, semiring: Semiring,
+                         mask: CooMat | None = None
+                         ) -> tuple[CooMat, str]:
+        """Like :meth:`spgemm`, also naming the kernel path taken.
+
+        The path string (``"esc"``, ``"masked_esc"``, ``"csr"``,
+        ``"masked_csr"``) feeds the per-stage dispatch counters
+        (:meth:`repro.mpisim.StageTimer.count_kernel`); executor tasks carry
+        it back to the parent alongside the block product.
+        """
         raise NotImplementedError
 
     def expand(self, A: CooMat, B: CooMat):
@@ -129,8 +161,10 @@ class NumpyBackend(Backend):
 
     name = "numpy"
 
-    def spgemm(self, A, B, semiring):
-        return spgemm_esc(A, B, semiring)
+    def spgemm_with_path(self, A, B, semiring, mask=None):
+        if mask is not None:
+            return spgemm_esc_masked(A, B, semiring, mask), "masked_esc"
+        return spgemm_esc(A, B, semiring), "esc"
 
 
 def _canonical(C: sp.csr_matrix) -> sp.csr_matrix:
@@ -190,18 +224,24 @@ class ScipyBackend(NumpyBackend):
             return None
         return None
 
-    def spgemm(self, A, B, semiring):
+    def spgemm_with_path(self, A, B, semiring, mask=None):
         if A.shape[1] != B.shape[0]:
             raise ValueError(f"inner dimensions differ: {A.shape} x {B.shape}")
         lowering = self.can_lower(A, B, semiring)
         if lowering == "plus_times":
-            return CooMat.from_csr(_canonical(A.to_csr(0) @ B.to_csr(0)),
-                                   checked=True)
-        if lowering == "bool_or":
-            C = _canonical(_pattern_csr(A) @ _pattern_csr(B))
-            np.minimum(C.data, 1, out=C.data)
-            return CooMat.from_csr(C, checked=True)
-        return super().spgemm(A, B, semiring)
+            C = CooMat.from_csr(_canonical(A.to_csr(0) @ B.to_csr(0)),
+                                checked=True)
+        elif lowering == "bool_or":
+            raw = _canonical(_pattern_csr(A) @ _pattern_csr(B))
+            np.minimum(raw.data, 1, out=raw.data)
+            C = CooMat.from_csr(raw, checked=True)
+        else:
+            return super().spgemm_with_path(A, B, semiring, mask)
+        if mask is not None:
+            # Native product first, then intersect: byte-identical to the
+            # masked ESC chain (masked_csr = csr ∩ mask = esc ∩ mask).
+            return mask_select(C, mask), "masked_csr"
+        return C, "csr"
 
     def merge(self, parts, semiring, shape):
         parts = [p for p in parts if p.nnz > 0]

@@ -51,6 +51,17 @@ class Semiring:
     #: tropical product) stay here.
     lowering: str | None = None
 
+    #: Optional ESC truncation capability.  When set to ``k``, the semiring
+    #: promises that (a) :meth:`multiply` never returns a validity mask and
+    #: (b) :meth:`reduce` applied to a sorted group of *freshly multiplied*
+    #: products depends only on the group's first ``k`` products plus the
+    #: true group size — so the masked ESC kernel may multiply just those
+    #: ``k`` per group and fold them with :meth:`reduce_truncated` instead of
+    #: materializing every product value.  ``None`` (default) disables the
+    #: fast path; reduces that consume every product (MinPlus-style minima,
+    #: sums of non-constant values) must leave it off.
+    product_reduce_depth: int | None = None
+
     def multiply(self, avals: np.ndarray, bvals: np.ndarray
                  ) -> tuple[np.ndarray, np.ndarray | None]:
         """Elementwise products of aligned A/B value rows.
@@ -68,6 +79,19 @@ class Semiring:
         ``vals`` holds all products sorted so each output nonzero's
         contributions are contiguous; group ``g`` spans
         ``vals[starts[g] : starts[g] + counts[g]]``.
+        """
+        raise NotImplementedError
+
+    def reduce_truncated(self, vals: np.ndarray, starts: np.ndarray,
+                         counts: np.ndarray) -> np.ndarray:
+        """Fold groups truncated to :attr:`product_reduce_depth` products.
+
+        ``vals`` holds only the first ``min(depth, counts[g])`` freshly
+        multiplied products of each group (``starts`` indexes into this
+        truncated array); ``counts`` carries the **true** group sizes.  Must
+        be byte-identical to :meth:`reduce` over the full groups — the
+        contract that makes the masked kernel's truncation invisible.
+        Required iff :attr:`product_reduce_depth` is set.
         """
         raise NotImplementedError
 

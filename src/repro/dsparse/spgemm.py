@@ -26,8 +26,39 @@ import numpy as np
 from .coomat import CooMat
 from .semiring import Semiring
 
-__all__ = ["expand_products", "spgemm_esc", "spgemm_gustavson",
-           "multiway_merge"]
+__all__ = ["expand_products", "packed_order", "spgemm_esc",
+           "spgemm_gustavson", "multiway_merge"]
+
+
+def packed_order(rows: np.ndarray, cols: np.ndarray,
+                 shape: tuple[int, int]) -> np.ndarray:
+    """Stable row-major sort order over (row, col) coordinate pairs.
+
+    Packs both coordinates into one int64 key (``row * ncols + col``) and
+    argsorts it — the same ordering as ``np.lexsort((cols, rows))`` at
+    roughly half the sort work.  Packing requires ``rows * ncols`` to fit
+    int64; shapes whose coordinate product would overflow (possible only
+    for matrices beyond ~9.2e18 cells, far past any genomic workload) fall
+    back to the two-key lexsort instead of wrapping silently.
+    """
+    if shape[0] and shape[0] > (2 ** 63 - 1) // max(1, shape[1]):
+        return np.lexsort((cols, rows))
+    return np.argsort(rows * np.int64(shape[1]) + cols, kind="stable")
+
+
+def _sort_reduce(out_shape: tuple[int, int], ci: np.ndarray, cj: np.ndarray,
+                 cvals: np.ndarray, semiring: Semiring) -> CooMat:
+    """The sort-compress tail of ESC: group products by output coordinate
+    (stable, so each group keeps expansion order) and fold each group with
+    the semiring's segmented reduce."""
+    order = packed_order(ci, cj, out_shape)
+    ci, cj, cvals = ci[order], cj[order], cvals[order]
+    new_group = np.ones(ci.shape[0], dtype=bool)
+    new_group[1:] = (ci[1:] != ci[:-1]) | (cj[1:] != cj[:-1])
+    starts = np.flatnonzero(new_group)
+    counts = np.diff(np.append(starts, ci.shape[0]))
+    reduced = semiring.reduce(cvals, starts, counts)
+    return CooMat(out_shape, ci[starts], cj[starts], reduced, checked=True)
 
 
 def expand_products(A: CooMat, B: CooMat):
@@ -68,17 +99,7 @@ def spgemm_esc(A: CooMat, B: CooMat, semiring: Semiring) -> CooMat:
         ci, cj, cvals = ci[mask], cj[mask], cvals[mask]
         if ci.shape[0] == 0:
             return CooMat.empty(out_shape, semiring.out_nfields)
-    # Single packed-key stable sort instead of a two-key lexsort — same
-    # ordering as lexsort((cj, ci)) (keys fit int64, as in CooMat.keys())
-    # at roughly half the sort work.
-    order = np.argsort(ci * np.int64(out_shape[1]) + cj, kind="stable")
-    ci, cj, cvals = ci[order], cj[order], cvals[order]
-    new_group = np.ones(ci.shape[0], dtype=bool)
-    new_group[1:] = (ci[1:] != ci[:-1]) | (cj[1:] != cj[:-1])
-    starts = np.flatnonzero(new_group)
-    counts = np.diff(np.append(starts, ci.shape[0]))
-    reduced = semiring.reduce(cvals, starts, counts)
-    return CooMat(out_shape, ci[starts], cj[starts], reduced, checked=True)
+    return _sort_reduce(out_shape, ci, cj, cvals, semiring)
 
 
 def spgemm_gustavson(A: CooMat, B: CooMat, semiring: Semiring) -> CooMat:
@@ -141,11 +162,4 @@ def multiway_merge(parts: list[CooMat], semiring: Semiring,
     rows = np.concatenate([p.row for p in parts])
     cols = np.concatenate([p.col for p in parts])
     vals = np.vstack([p.vals for p in parts])
-    order = np.argsort(rows * np.int64(shape[1]) + cols, kind="stable")
-    rows, cols, vals = rows[order], cols[order], vals[order]
-    new_group = np.ones(rows.shape[0], dtype=bool)
-    new_group[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
-    starts = np.flatnonzero(new_group)
-    counts = np.diff(np.append(starts, rows.shape[0]))
-    reduced = semiring.reduce(vals, starts, counts)
-    return CooMat(shape, rows[starts], cols[starts], reduced, checked=True)
+    return _sort_reduce(shape, rows, cols, vals, semiring)

@@ -29,10 +29,14 @@ __all__ = ["summa"]
 
 
 def _spgemm_task(ctx, operands):
-    """Executor task: one local block product (module-level for pickling)."""
+    """Executor task: one local block product (module-level for pickling).
+
+    Returns ``(block, path)`` so process-pool workers carry the kernel path
+    back to the parent for the per-stage dispatch counters.
+    """
     backend, semiring = ctx
-    a, b = operands
-    return backend.spgemm(a, b, semiring)
+    a, b, m = operands
+    return backend.spgemm_with_path(a, b, semiring, mask=m)
 
 
 def _merge_task(ctx, task):
@@ -45,7 +49,8 @@ def _merge_task(ctx, task):
 def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
           stage: str, timer: StageTimer | None = None,
           backend: Backend | str | None = None,
-          executor: Executor | None = None) -> DistMat:
+          executor: Executor | None = None,
+          mask: DistMat | None = None) -> DistMat:
     """Distributed ``C = A ⊗ B`` via Sparse SUMMA.
 
     Parameters
@@ -71,6 +76,11 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
         parallel; ``None`` runs them serially.  Output is byte-identical
         either way; per-block compute time is still charged to the owning
         simulated rank.
+    mask:
+        Optional output-pattern mask on the same grid as ``C``: the result
+        is ``(A ⊗ B) ∩ mask``, with each rank pruning its local products to
+        its own mask block before the sort/reduce (CombBLAS masked SpGEMM;
+        the mask is already distributed, so no extra communication moves).
 
     Returns
     -------
@@ -88,6 +98,12 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
     timer = timer if timer is not None else StageTimer()
     backend = get_backend(backend)
     executor = executor if executor is not None else SERIAL
+    if mask is not None:
+        if mask.grid.q != q:
+            raise ValueError("mask must live on the operands' process grid")
+        if mask.shape != (A.shape[0], B.shape[1]):
+            raise ValueError(f"mask shape {mask.shape} != output shape "
+                             f"{(A.shape[0], B.shape[1])}")
     ctx = (backend, semiring)
     ij = [(i, j) for i in range(q) for j in range(q)]
 
@@ -106,13 +122,16 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
             col_comm = comm.sub(grid.col_ranks(j))
             recvB.append(col_comm.bcast(B.blocks[k][j], root=k, stage=stage))
 
-        tasks = [(recvA[i][j], recvB[j][i]) for i, j in ij]
-        weights = [a.nnz + b.nnz for a, b in tasks]
+        tasks = [(recvA[i][j], recvB[j][i],
+                  mask.blocks[i][j] if mask is not None else None)
+                 for i, j in ij]
+        weights = [a.nnz + b.nnz for a, b, _m in tasks]
         with timer.superstep(stage) as step:
-            parts, secs = executor.run_timed(_spgemm_task, tasks,
-                                             context=ctx, weights=weights)
+            results, secs = executor.run_timed(_spgemm_task, tasks,
+                                               context=ctx, weights=weights)
             step.charge_many((grid.rank_of(i, j) for i, j in ij), secs)
-            for (i, j), part in zip(ij, parts):
+            for (i, j), (part, path) in zip(ij, results):
+                timer.count_kernel(stage, path)
                 if part.nnz:
                     partials[i][j].append(part)
 

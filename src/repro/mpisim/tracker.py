@@ -144,6 +144,7 @@ class StageTimer:
         self.stage_seconds: dict[str, float] = defaultdict(float)
         self.stage_supersteps: dict[str, int] = defaultdict(int)
         self.stage_peak_bytes: dict[str, int] = {}
+        self.stage_kernel_counts: dict[str, dict[str, int]] = {}
 
     @contextmanager
     def superstep(self, stage: str):
@@ -165,6 +166,22 @@ class StageTimer:
         """Per-stage live-matrix high-water marks, in bytes."""
         return dict(self.stage_peak_bytes)
 
+    def count_kernel(self, stage: str, path: str, n: int = 1) -> None:
+        """Tally ``n`` block products of ``stage`` taking kernel ``path``.
+
+        Paths are the :meth:`repro.dsparse.backend.Backend.spgemm_with_path`
+        names (``"csr"``, ``"masked_csr"``, ``"esc"``, ``"masked_esc"``) —
+        the per-stage dispatch breakdown ``repro stats`` prints so bench
+        regressions are attributable to a routing change.
+        """
+        per_stage = self.stage_kernel_counts.setdefault(stage, {})
+        per_stage[path] = per_stage.get(path, 0) + int(n)
+
+    def kernel_counts(self) -> dict[str, dict[str, int]]:
+        """Per-stage SpGEMM kernel-dispatch counters (copies)."""
+        return {stage: dict(paths)
+                for stage, paths in self.stage_kernel_counts.items()}
+
     def merge(self, other: "StageTimer") -> None:
         """Fold another timer in: seconds/supersteps add, peaks take max.
 
@@ -178,6 +195,9 @@ class StageTimer:
             self.stage_supersteps[stage] += count
         for stage, peak in other.stage_peak_bytes.items():
             self.record_peak_bytes(stage, peak)
+        for stage, paths in other.stage_kernel_counts.items():
+            for path, n in paths.items():
+                self.count_kernel(stage, path, n)
 
     def total(self) -> float:
         return float(sum(self.stage_seconds.values()))

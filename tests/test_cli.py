@@ -88,6 +88,7 @@ def test_parser_defaults_match_pipeline_config():
         assert args.align_mode == cfg.align_mode
         assert args.align_impl == cfg.align_impl
         assert args.kmer_impl == cfg.kmer_impl
+        assert args.spgemm_impl == cfg.spgemm_impl
         assert args.fuzz == cfg.fuzz
         assert args.depth_hint == cfg.depth_hint
         assert args.error_hint == cfg.error_hint

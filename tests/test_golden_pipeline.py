@@ -27,6 +27,7 @@ from repro.core.contigs import extract_contigs
 from repro.core.overlap import (align_candidates, build_a_matrix,
                                 candidate_overlaps)
 from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.dsparse.masked import resolve_spgemm_impl
 from repro.mpisim import CommTracker, ProcessGrid2D, SimComm, StageTimer
 from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
 from repro.seqs.kmer_counter import count_kmers
@@ -45,6 +46,15 @@ KMER_IMPLS = ["loop", "batch"]
 #: are invariant across executors and engines but legitimately differ
 #: between monolithic and blocked candidate formation (blocked runs one
 #: SUMMA per strip and holds smaller candidate peaks — that is its point).
+#:
+#: PR 6 (masked SpGEMM engine) updated only the two ``peaks`` digests:
+#: under the now-default masked engine the transitive reduction squares R
+#: within R's own pattern, so the recorded ``TrReduction`` live set
+#: (R + N) genuinely shrinks (180288 → 93600 bytes here).  Every other
+#: digest — S, R, contigs, counts, both trackers, and the ``SpGEMM``
+#: peak inside the peaks dicts — is byte-identical to the PR 5 values;
+#: ``test_golden_pipeline_esc_engine`` still pins the full pre-PR-6 peaks
+#: through the ESC oracle.
 GOLDEN = {
     "S": "bce02a9f21bd33e20a0a076940bb08a6c1e628435f6bd9fe8301ea8e43211ad2",
     "R": "50d4eaa5a0aa3dc9fd206419f558d12b2fe60398c87b566fada2cf168afbe93a",
@@ -57,6 +67,14 @@ GOLDEN = {
             "84581ee8562fb7bbc8c791e1dcdcc6ff3b4f57bca1a78e2f0b2cabe99fae073a",
     },
     "peaks": {
+        "monolithic":
+            "710cc8a302621b111d4e9087898d7e42bdad01381eaefa2e4df29ae81bec82da",
+        "blocked":
+            "0caa120861bd85567e14156e31e075a72fc03717fef79215330fc538e5f5bcea",
+    },
+    # The monolithic/blocked peaks of the ESC (pre-PR-6 default) engine,
+    # whose TrReduction live set is the full unmasked N.
+    "peaks_esc": {
         "monolithic":
             "8f1c6d1424630f3b0ed71e3f125dd77e3f488c3072400deab3e413934365692d",
         "blocked":
@@ -109,12 +127,14 @@ def _peaks_digest(timer) -> str:
     return _sha_text(repr(sorted(peaks.items())))
 
 
-def _config(executor, workers, overlap_mode, align_impl, kmer_impl):
+def _config(executor, workers, overlap_mode, align_impl, kmer_impl,
+            spgemm_impl="auto"):
     return PipelineConfig(
         k=K, nprocs=NPROCS, align_mode="xdrop", fuzz=60,
         kmer_upper=KMER_UPPER, executor=executor, workers=workers,
         overlap_mode=overlap_mode, n_strips=3 if overlap_mode == "blocked"
-        else None, align_impl=align_impl, kmer_impl=kmer_impl)
+        else None, align_impl=align_impl, kmer_impl=kmer_impl,
+        spgemm_impl=spgemm_impl)
 
 
 COMBOS = list(itertools.product(EXECUTORS, OVERLAP_MODES, ALIGN_IMPLS,
@@ -137,17 +157,48 @@ def test_golden_pipeline(golden_reads, executor_workers, overlap_mode,
         "tracker": _tracker_digest(result.tracker),
         "peaks": _peaks_digest(result.timer),
     }
+    # Both SpGEMM engines are golden (the CI matrix pins each); only the
+    # TrReduction live-set peak legitimately differs between them.
+    peaks_key = "peaks" if resolve_spgemm_impl("auto") == "masked" \
+        else "peaks_esc"
     expect = {
         "S": GOLDEN["S"],
         "contigs": GOLDEN["contigs"],
         "counts": GOLDEN["counts"],
         "tracker": GOLDEN["tracker"][overlap_mode],
-        "peaks": GOLDEN["peaks"][overlap_mode],
+        "peaks": GOLDEN[peaks_key][overlap_mode],
     }
     assert got == expect, (
         f"golden pipeline drift under executor={executor}/{workers} "
         f"overlap={overlap_mode} align={align_impl} kmer={kmer_impl}.\n"
         f"If this change is intentional, update GOLDEN to:\n{got!r}")
+
+
+@pytest.mark.parametrize("overlap_mode", OVERLAP_MODES)
+def test_golden_pipeline_esc_engine(golden_reads, overlap_mode):
+    """The ESC oracle engine still reproduces the full pre-PR-6 goldens,
+    including the unmasked TrReduction peak."""
+    result = run_pipeline(golden_reads,
+                          _config("serial", 1, overlap_mode, "batch",
+                                  "batch", spgemm_impl="esc"))
+    got = {
+        "S": _sha(result.S.row, result.S.col, result.S.vals),
+        "contigs": _contig_digest(result.string_graph),
+        "counts": (result.nnz_a, result.nnz_c, result.nnz_r, result.nnz_s),
+        "tracker": _tracker_digest(result.tracker),
+        "peaks": _peaks_digest(result.timer),
+    }
+    expect = {
+        "S": GOLDEN["S"],
+        "contigs": GOLDEN["contigs"],
+        "counts": GOLDEN["counts"],
+        "tracker": GOLDEN["tracker"][overlap_mode],
+        "peaks": GOLDEN["peaks_esc"][overlap_mode],
+    }
+    assert got == expect, (
+        f"golden pipeline drift under spgemm_impl=esc "
+        f"overlap={overlap_mode}.\nIf intentional, update GOLDEN to:\n"
+        f"{got!r}")
 
 
 @pytest.mark.parametrize("align_impl", ALIGN_IMPLS)
