@@ -1,0 +1,170 @@
+"""Incremental refresh vs full recompute: amortized per-batch wall-clock.
+
+The service's value claim is that folding a small batch of new reads into
+a live assembly costs a fraction of rerunning the pipeline on the whole
+read set.  This benchmark replays the intended serving pattern — one bulk
+initial load followed by a stream of small batches — under both refresh
+engines, asserts the byte-identity contract at every version (S, R,
+contig layout, and sparsity counts all match), and writes
+``BENCH_service.json`` at the repo root for the cross-PR perf record.
+
+The amortized metric is the mean per-batch refresh wall over the small
+batches only (the bootstrap load is a recompute under both modes and is
+excluded).  Acceptance gate: incremental must be ≥ ``MIN_SERVICE_SPEEDUP``×
+faster per batch than recompute; ``REPRO_BENCH_MIN_SERVICE_SPEEDUP``
+overrides the threshold (``0`` records without gating).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import PipelineConfig
+from repro.eval.report import format_table
+from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
+from repro.service import AssemblyState, ServiceConfig, refresh
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: Long-read, paper-like dataset, big enough that a full recompute has
+#: real SpGEMM/alignment cost for every trailing batch to amortize against.
+GENOME_LENGTH = 60_000
+DEPTH = 12
+MEAN_LEN = 2_500
+MIN_LEN = 1_200
+ERROR_RATE = 0.0
+K = 17
+NPROCS = 4
+FUZZ = 150
+
+#: Serving pattern: one bulk load, then a stream of small delta batches.
+INITIAL_FRACTION = 0.8
+N_DELTA_BATCHES = 6
+
+#: The PR's acceptance gate: amortized per-batch incremental vs recompute.
+MIN_SERVICE_SPEEDUP = 3.0
+
+
+def _dataset():
+    _genome, reads, _layout = simulate_reads(
+        ReadSimSpec(GenomeSpec(length=GENOME_LENGTH, seed=42),
+                    depth=DEPTH, mean_len=MEAN_LEN, min_len=MIN_LEN,
+                    error=ErrorModel(rate=ERROR_RATE), seed=1))
+    reads.soa()
+    return reads
+
+
+def _batches(reads):
+    n = len(reads)
+    bulk = int(round(INITIAL_FRACTION * n))
+    splits = [0, bulk] + list(
+        np.linspace(bulk, n, N_DELTA_BATCHES + 1).round().astype(int)[1:])
+    return [reads.subset(np.arange(lo, hi))
+            for lo, hi in zip(splits[:-1], splits[1:])]
+
+
+def _config(mode: str) -> ServiceConfig:
+    return ServiceConfig(refresh_mode=mode,
+                         pipeline=PipelineConfig(k=K, nprocs=NPROCS,
+                                                 fuzz=FUZZ))
+
+
+def _run(batches, mode: str):
+    state = AssemblyState.initial()
+    config = _config(mode)
+    states, walls = [], []
+    for batch in batches:
+        state = refresh(state, batch, config)
+        states.append(state)
+        walls.append(state.refresh_seconds)
+    return states, walls
+
+
+def _digest(state: AssemblyState):
+    c = state.counts
+    return ((c["n_reads"], c["n_kmers"], c["nnz_a"], c["nnz_c"],
+             c["nnz_r"], c["nnz_s"], c["tr_rounds"]),
+            state.S.row.tobytes(), state.S.col.tobytes(),
+            state.S.vals.tobytes(),
+            state.R.row.tobytes(), state.R.col.tobytes(),
+            state.R.vals.tobytes(),
+            tuple(sorted((tuple(k.reads), tuple(k.orientations))
+                         for k in state.contigs)))
+
+
+def test_service_incremental_speedup(benchmark):
+    reads = _dataset()
+    batches = _batches(reads)
+
+    def run():
+        inc_states, inc_walls = _run(batches, "incremental")
+        rec_states, rec_walls = _run(batches, "recompute")
+        return inc_states, inc_walls, rec_states, rec_walls
+
+    inc_states, inc_walls, rec_states, rec_walls = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Byte-identity at every version: the delta engine is only a speedup
+    # if it is also exactly the recompute oracle.
+    for inc, rec in zip(inc_states, rec_states):
+        assert _digest(inc) == _digest(rec), \
+            f"incremental diverged from recompute at version {inc.version}"
+
+    # Amortize over the small delta batches; the bootstrap bulk load is a
+    # recompute under both modes and carries no incremental signal.
+    inc_delta = inc_walls[1:]
+    rec_delta = rec_walls[1:]
+    inc_mean = sum(inc_delta) / len(inc_delta)
+    rec_mean = sum(rec_delta) / len(rec_delta)
+    speedup = rec_mean / max(inc_mean, 1e-9)
+
+    final = inc_states[-1].counts
+    rows = [{
+        "batch": f"v{i + 2} (+{len(batches[i + 1])} reads)",
+        "incremental (s)": f"{inc_delta[i]:.2f}",
+        "recompute (s)": f"{rec_delta[i]:.2f}",
+        "speedup": f"{rec_delta[i] / max(inc_delta[i], 1e-9):.2f}x",
+    } for i in range(len(inc_delta))]
+    rows.append({"batch": "amortized mean",
+                 "incremental (s)": f"{inc_mean:.2f}",
+                 "recompute (s)": f"{rec_mean:.2f}",
+                 "speedup": f"{speedup:.2f}x"})
+    print(format_table(rows, title=(
+        f"Service refresh: incremental vs recompute ({len(reads)} reads, "
+        f"bulk load {len(batches[0])}, {len(inc_delta)} delta batches, "
+        f"nnz(S)={final['nnz_s']})")))
+
+    record = {
+        "bench": "service",
+        "dataset": {"genome_length": GENOME_LENGTH, "depth": DEPTH,
+                    "mean_len": MEAN_LEN, "min_len": MIN_LEN,
+                    "error_rate": ERROR_RATE, "n_reads": len(reads),
+                    "k": K, "nprocs": NPROCS, "fuzz": FUZZ,
+                    "bulk_reads": len(batches[0]),
+                    "n_delta_batches": len(inc_delta)},
+        "bootstrap": {"incremental_seconds": round(inc_walls[0], 4),
+                      "recompute_seconds": round(rec_walls[0], 4)},
+        "per_batch": [{"version": i + 2,
+                       "batch_reads": len(batches[i + 1]),
+                       "incremental_seconds": round(inc_delta[i], 4),
+                       "recompute_seconds": round(rec_delta[i], 4)}
+                      for i in range(len(inc_delta))],
+        "amortized": {"incremental_seconds": round(inc_mean, 4),
+                      "recompute_seconds": round(rec_mean, 4),
+                      "speedup": round(speedup, 3)},
+        "final_counts": final,
+        "identical_to_recompute": True,
+    }
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {JSON_PATH.name} (amortized per-batch refresh speedup "
+          f"{speedup:.2f}x)")
+
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SERVICE_SPEEDUP",
+                                       str(MIN_SERVICE_SPEEDUP)))
+    if min_speedup > 0.0:
+        assert speedup >= min_speedup, (
+            f"expected >= {min_speedup}x amortized per-batch refresh "
+            f"speedup (incremental vs recompute), measured {speedup:.2f}x")

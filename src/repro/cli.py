@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Three subcommands cover the library's main workflows::
+Four subcommands cover the library's main workflows::
 
     python -m repro simulate --genome-length 50000 --depth 20 out.fa
     python -m repro assemble reads.fa --nprocs 4 --layout layout.tsv
     python -m repro stats reads.fa --nprocs 4
+    python -m repro serve --port 8765 --nprocs 4 --initial reads.fa
 
 ``simulate`` writes a synthetic CLR-like read set (with the ground-truth
 interval encoded in each read name), ``assemble`` runs the diBELLA 2D
-pipeline and writes the contig layout, and ``stats`` prints the matrix
-statistics and stage breakdown without writing outputs.
+pipeline and writes the contig layout, ``stats`` prints the matrix
+statistics and stage breakdown without writing outputs, and ``serve``
+starts the long-running incremental assembly service (versioned delta
+updates over HTTP, see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -25,10 +28,12 @@ from .dsparse.backend import available_backends
 from .dsparse.masked import SPGEMM_IMPLS
 from .exec import available_executors
 from .mpisim.machine import MACHINES
-from .seqs.dna import GenomeSpec
+from .seqs.dna import GenomeSpec, decode
 from .seqs.kmer_counter import KMER_IMPLS
-from .seqs.fasta import write_fasta
+from .seqs.fasta import read_fasta, write_fasta
 from .seqs.simulator import ErrorModel, ReadSimSpec, simulate_reads
+from .service import REFRESH_MODES, AssemblyService, ServiceConfig, \
+    make_server
 
 __all__ = ["main", "build_parser"]
 
@@ -155,6 +160,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     st = sub.add_parser("stats", help="run the pipeline, print statistics")
     add_pipeline_args(st)
+
+    # Serve defaults come from ServiceConfig / PipelineConfig the same way
+    # (pinned by the same parity test).
+    scfg = ServiceConfig()
+    srv = sub.add_parser("serve",
+                         help="run the incremental assembly HTTP service")
+    srv.add_argument("--host", default=scfg.host)
+    srv.add_argument("--port", type=int, default=scfg.port)
+    srv.add_argument("--refresh-mode",
+                     choices=("auto",) + REFRESH_MODES,
+                     default=scfg.refresh_mode,
+                     help="refresh engine: 'incremental' folds each batch "
+                          "into the live state via delta products, "
+                          "'recompute' reruns the pipeline from scratch "
+                          "(the byte-identical oracle); 'auto' honors "
+                          "REPRO_REFRESH_MODE, else incremental")
+    srv.add_argument("--cache-entries", type=int,
+                     default=scfg.cache_entries,
+                     help="query cache LRU capacity")
+    srv.add_argument("--initial", default=None, metavar="FASTA",
+                     help="optional FASTA ingested as the first batch "
+                          "before serving")
+    srv.add_argument("--k", type=int, default=cfg.k)
+    srv.add_argument("--nprocs", type=int, default=cfg.nprocs,
+                     help="simulated process count (perfect square)")
+    srv.add_argument("--align-mode", choices=("xdrop", "chain"),
+                     default=cfg.align_mode)
+    srv.add_argument("--align-impl", choices=("auto",) + ALIGN_IMPLS,
+                     default=cfg.align_impl)
+    srv.add_argument("--kmer-impl", choices=("auto",) + KMER_IMPLS,
+                     default=cfg.kmer_impl)
+    srv.add_argument("--spgemm-impl", choices=("auto",) + SPGEMM_IMPLS,
+                     default=cfg.spgemm_impl)
+    srv.add_argument("--fuzz", type=int, default=cfg.fuzz)
+    srv.add_argument("--depth-hint", type=float, default=cfg.depth_hint)
+    srv.add_argument("--error-hint", type=float, default=cfg.error_hint)
+    srv.add_argument("--backend", choices=available_backends(),
+                     default=cfg.backend)
+    srv.add_argument("--workers", type=int, default=cfg.workers)
+    srv.add_argument("--executor", choices=available_executors(),
+                     default=cfg.executor)
     return parser
 
 
@@ -243,6 +289,39 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    pcfg = PipelineConfig(k=args.k, nprocs=args.nprocs,
+                          align_mode=args.align_mode,
+                          align_impl=args.align_impl,
+                          kmer_impl=args.kmer_impl,
+                          spgemm_impl=args.spgemm_impl, fuzz=args.fuzz,
+                          depth_hint=args.depth_hint,
+                          error_hint=args.error_hint,
+                          backend=args.backend, workers=args.workers,
+                          executor=args.executor)
+    service = AssemblyService(ServiceConfig(
+        host=args.host, port=args.port, refresh_mode=args.refresh_mode,
+        cache_entries=args.cache_entries, pipeline=pcfg))
+    if args.initial is not None:
+        reads = read_fasta(args.initial)
+        summary = service.ingest(reads.names,
+                                 [decode(s) for s in reads.seqs])
+        print(f"ingested {summary['ingested']} reads from {args.initial} "
+              f"(version {summary['version']}, "
+              f"{summary['refresh_seconds']:.2f}s)")
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"(POST /reads, GET /version /stats /contigs /overlaps/<id>)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
@@ -251,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_assemble(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover
 
 

@@ -51,8 +51,8 @@ from .semirings import (A_FLIP, A_POS, C_COUNT, C_NFIELDS, C_PA1, C_PA2,
                         PositionsSemiring, R_END_I, R_END_J, R_NFIELDS,
                         R_OLEN, R_SUFFIX)
 
-__all__ = ["AlignmentFilter", "build_a_matrix", "candidate_overlaps",
-           "exchange_reads", "align_candidates"]
+__all__ = ["AlignmentFilter", "build_a_matrix", "charge_a_routing",
+           "candidate_overlaps", "exchange_reads", "align_candidates"]
 
 
 @dataclass(frozen=True)
@@ -183,10 +183,28 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
         row = col = np.empty(0, np.int64)
         vals = np.empty((0, 2), np.int64)
 
-    # Charge the routing of entries to their 2D owners: every entry moves
-    # from its 1D source rank to the grid owner of its (row, col) block.
-    rb = grid.row_bounds(n)
-    cb = grid.col_bounds(m)
+    charge_a_routing(row, col, n, m, grid, comm, stage=stage)
+
+    timer.record_peak_bytes(stage, coo_nbytes(row.shape[0], vals.shape[1]))
+    return DistMat.from_coo((n, m), grid, row, col, vals)
+
+
+def charge_a_routing(row: np.ndarray, col: np.ndarray, n_reads: int,
+                     n_kmers: int, grid: ProcessGrid2D, comm: SimComm,
+                     stage: str = "CreateSpMat") -> None:
+    """Charge the ``CreateSpMat`` routing of global A entries to the grid.
+
+    Every entry moves from its 1D source rank (the balanced block owner of
+    its read) to the 2D grid owner of its ``(row, col)`` block; off-rank
+    entries cost ``8 * 4`` bytes each (row, col, pos, flip) and one message
+    per distinct destination.  Factored out of :func:`build_a_matrix` so
+    the incremental service can replay the stage's exact traffic from the
+    merged entry arrays without re-running the scan.
+    """
+    P = comm.nprocs
+    bounds = block_bounds(n_reads, P)
+    rb = grid.row_bounds(n_reads)
+    cb = grid.col_bounds(n_kmers)
     bi = np.searchsorted(rb, row, side="right") - 1
     bj = np.searchsorted(cb, col, side="right") - 1
     dest = bi * grid.q + bj
@@ -199,9 +217,6 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
         if n_off:
             n_dests = int(np.unique(dest[mine][offrank]).shape[0])
             comm.tracker.record(stage, p, n_off * entry_bytes, n_dests)
-
-    timer.record_peak_bytes(stage, coo_nbytes(row.shape[0], vals.shape[1]))
-    return DistMat.from_coo((n, m), grid, row, col, vals)
 
 
 def _pattern_of(M: DistMat) -> DistMat:

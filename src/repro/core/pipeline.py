@@ -152,6 +152,10 @@ class PipelineResult:
     align_impl: str = "batch"
     kmer_impl: str = "batch"
     spgemm_impl: str = "masked"
+    #: The pre-reduction overlap matrix (global, canonical order).  The
+    #: incremental assembly service splices delta rows into it on refresh;
+    #: batch callers may ignore it.
+    R: CooMat | None = None
 
     @property
     def spgemm_paths(self) -> dict[str, dict[str, int]]:
@@ -293,7 +297,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         tr_rounds=tr.rounds, timer=timer, tracker=tracker,
         overlap_mode=overlap_mode, n_strips=n_strips,
         align_impl=align_impl, kmer_impl=kmer_impl,
-        spgemm_impl=spgemm_impl)
+        spgemm_impl=spgemm_impl, R=R.to_global())
 
 
 def run_pipeline_from_fasta(path, config: PipelineConfig | None = None

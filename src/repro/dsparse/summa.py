@@ -25,7 +25,7 @@ from .coomat import CooMat
 from .distmat import DistMat
 from .semiring import Semiring
 
-__all__ = ["summa"]
+__all__ = ["summa", "summa_comm_replay"]
 
 
 def _spgemm_task(ctx, operands):
@@ -44,6 +44,49 @@ def _merge_task(ctx, task):
     backend, semiring = ctx
     parts, shape = task
     return backend.merge(parts, semiring, shape)
+
+
+def _stage_broadcasts(A: DistMat, B: DistMat, k: int, comm: SimComm,
+                      stage: str) -> tuple[list[list[CooMat]],
+                                           list[list[CooMat]]]:
+    """Stage ``k``'s row/column broadcasts (the whole of SUMMA's traffic).
+
+    Both :func:`summa` and :func:`summa_comm_replay` issue their collectives
+    through this one helper, so the replay's accounting cannot drift from
+    the real product's.
+    """
+    grid = A.grid
+    q = grid.q
+    # Row broadcasts: A block (i, k) to all of process row i.
+    recvA = [comm.sub(grid.row_ranks(i)).bcast(A.blocks[i][k], root=k,
+                                               stage=stage)
+             for i in range(q)]
+    # Column broadcasts: B block (k, j) to all of process column j.
+    recvB = [comm.sub(grid.col_ranks(j)).bcast(B.blocks[k][j], root=k,
+                                               stage=stage)
+             for j in range(q)]
+    return recvA, recvB
+
+
+def summa_comm_replay(A: DistMat, B: DistMat, comm: SimComm, stage: str
+                      ) -> None:
+    """Re-issue SUMMA's broadcasts for ``A ⊗ B`` without multiplying.
+
+    The product's communication is a pure function of the operands' block
+    sizes — stage ``k`` broadcasts A's block column ``k`` along process rows
+    and B's block row ``k`` along process columns, whatever the semiring.
+    The incremental service uses this to charge a refreshed dataset's exact
+    ``SpGEMM``/``TrReduction``-shaped traffic when it already knows the
+    product's value from a delta computation.  (Under the masked engine the
+    count pass runs against a throwaway communicator, so one replay of the
+    full operands covers both engines' recorded traffic.)
+    """
+    if A.grid.q != B.grid.q:
+        raise ValueError("operands must share a process grid")
+    if A.shape[1] != B.shape[0]:
+        raise ValueError(f"inner dimensions differ: {A.shape} x {B.shape}")
+    for k in range(A.grid.q):
+        _stage_broadcasts(A, B, k, comm, stage)
 
 
 def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
@@ -111,16 +154,7 @@ def summa(A: DistMat, B: DistMat, semiring: Semiring, comm: SimComm,
     partials: list[list[list[CooMat]]] = [[[] for _ in range(q)] for _ in range(q)]
 
     for k in range(q):
-        # Row broadcasts: A block (i, k) to all of process row i.
-        recvA: list[list[CooMat]] = []
-        for i in range(q):
-            row_comm = comm.sub(grid.row_ranks(i))
-            recvA.append(row_comm.bcast(A.blocks[i][k], root=k, stage=stage))
-        # Column broadcasts: B block (k, j) to all of process column j.
-        recvB: list[list[CooMat]] = []
-        for j in range(q):
-            col_comm = comm.sub(grid.col_ranks(j))
-            recvB.append(col_comm.bcast(B.blocks[k][j], root=k, stage=stage))
+        recvA, recvB = _stage_broadcasts(A, B, k, comm, stage)
 
         tasks = [(recvA[i][j], recvB[j][i],
                   mask.blocks[i][j] if mask is not None else None)

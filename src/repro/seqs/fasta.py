@@ -87,6 +87,31 @@ class ReadSet:
         end = offsets[hi - 1] + lengths[hi - 1]
         return codes[base:end], offsets[lo:hi] - base, lengths[lo:hi]
 
+    def extend(self, names: list[str], seqs: list[np.ndarray]) -> None:
+        """Append reads in place, invalidating the cached SoA view.
+
+        The ``(codes, offsets, lengths)`` view is built lazily and cached;
+        mutating the read lists behind it would keep serving the stale
+        buffers (wrong lengths, missing bases), so any append must drop the
+        cache and let the next :meth:`soa` call rebuild it over the full
+        set.  Existing read indices are stable — new reads take the next
+        indices — which is what the incremental assembly service relies on.
+        """
+        if len(names) != len(seqs):
+            raise ValueError("names and seqs must have equal length")
+        self.names.extend(names)
+        self.seqs.extend(seqs)
+        self._soa = None
+
+    def concat(self, other: "ReadSet") -> "ReadSet":
+        """New ReadSet of this set's reads followed by ``other``'s.
+
+        The per-read code arrays are shared, not copied — the copy-on-write
+        append the service's versioned states use (every version keeps its
+        own name/seq *lists*, so older snapshots never see later reads).
+        """
+        return ReadSet(self.names + other.names, self.seqs + other.seqs)
+
     def __getstate__(self):
         # Drop the SoA cache from pickles (executor workers rebuild it
         # lazily) so shipping a ReadSet never pays for the bases twice.

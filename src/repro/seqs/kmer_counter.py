@@ -52,7 +52,8 @@ from .kmers import read_kmers, read_kmers_batch, splitmix64
 
 __all__ = ["KmerTable", "reliable_upper_bound", "count_kmers",
            "KMER_IMPLS", "KMER_IMPL_ENV", "DEFAULT_KMER_IMPL",
-           "resolve_kmer_impl"]
+           "resolve_kmer_impl", "kmer_histogram", "merge_histograms",
+           "table_from_histogram"]
 
 STAGE = "CountKmer"
 
@@ -222,6 +223,69 @@ def _merge_admitted(keys: np.ndarray, counts: np.ndarray,
         return (np.insert(keys, at, fresh),
                 np.insert(counts, at, 0))
     return cand, np.zeros(cand.shape[0], dtype=np.int64)
+
+
+def kmer_histogram(reads: ReadSet, k: int
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Exact global ``(keys, counts)`` histogram of canonical k-mers.
+
+    One vectorized sweep over the whole read set; keys come back sorted
+    ascending.  This is the *mergeable* form of the counting state the
+    incremental service keeps per version: unlike the Bloom-filtered
+    two-pass tables (whose admission decisions depend on how occurrences
+    were batched), exact histograms of two read batches combine losslessly
+    with :func:`merge_histograms`, and the reliable table is a pure filter
+    of the merged histogram (:func:`table_from_histogram`).
+    """
+    canon = read_kmers_batch(*reads.soa(), k)[0]
+    if canon.size == 0:
+        return np.empty(0, np.uint64), np.empty(0, np.int64)
+    keys, counts = np.unique(canon, return_counts=True)
+    return keys, counts.astype(np.int64)
+
+
+def merge_histograms(keys: np.ndarray, counts: np.ndarray,
+                     new_keys: np.ndarray, new_counts: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two sorted k-mer histograms: shared keys add, fresh keys splice.
+
+    The PR-5 sorted-SoA merge (:func:`_merge_admitted`'s splice) extended
+    with count accumulation: membership is one ``searchsorted``, present
+    keys accumulate in place, absent keys are inserted at their sorted
+    positions — the output stays sorted without a re-sort.  Returns new
+    arrays; the inputs are never mutated (older service versions keep
+    aliasing theirs).
+    """
+    if new_keys.size == 0:
+        return keys, counts
+    if keys.shape[0] == 0:
+        return new_keys.copy(), new_counts.copy()
+    idx = np.searchsorted(keys, new_keys)
+    present = np.zeros(new_keys.shape[0], dtype=bool)
+    inb = idx < keys.shape[0]
+    present[inb] = keys[idx[inb]] == new_keys[inb]
+    merged_counts = counts.copy()
+    np.add.at(merged_counts, idx[present], new_counts[present])
+    fresh = ~present
+    if not fresh.any():
+        return keys, merged_counts
+    return (np.insert(keys, idx[fresh], new_keys[fresh]),
+            np.insert(merged_counts, idx[fresh], new_counts[fresh]))
+
+
+def table_from_histogram(keys: np.ndarray, counts: np.ndarray, k: int,
+                         lower: int = 2, upper: int = 8) -> "KmerTable":
+    """Reliable-k-mer table as a filter of an exact histogram.
+
+    Byte-identical to :func:`count_kmers` on the same reads: the two-pass
+    counter admits every key occurring at least twice (the Bloom filter's
+    false positives only ever *add* singletons, which the ``lower`` bound
+    then discards) and counts admitted keys exactly, so its final table is
+    precisely ``{key: lower <= count <= upper}`` of the true histogram.
+    """
+    keep = (counts >= lower) & (counts <= upper)
+    return KmerTable(k=k, kmers=keys[keep].copy(),
+                     counts=counts[keep].copy(), lower=lower, upper=upper)
 
 
 @dataclass

@@ -1,0 +1,472 @@
+"""Incremental refresh: fold a read batch into an AssemblyState.
+
+:func:`refresh` takes version ``v`` plus a batch and produces version
+``v + 1``, byte-identical to running the whole pipeline from scratch on
+the concatenated reads — for *every* field the batch pipeline produces
+(S, R, contigs, the sparsity counts, and the per-stage communication
+records).  ``refresh_mode="recompute"`` *is* that scratch run, kept as
+the oracle; ``"incremental"`` earns the speedup by never re-aligning a
+pair whose candidate evidence is unchanged.
+
+Why the incremental path is exact
+---------------------------------
+
+* **Counting.**  The state keeps the exact global k-mer histogram, which
+  merges losslessly with the batch's histogram
+  (:func:`~repro.seqs.kmer_counter.merge_histograms`); the reliable table
+  is a pure filter of it (:func:`~repro.seqs.kmer_counter.
+  table_from_histogram` — provably equal to the two-pass Bloom counter's
+  output).  Multiplicities only grow, so a key's reliability changes in
+  exactly two ways: it enters ``[lower, upper]`` from below (**added**)
+  or leaves above ``upper`` (**removed**).
+
+* **A.**  The state keeps the reliability-independent occurrence table —
+  first-window occurrence per (read, distinct canonical k-mer), sorted by
+  (key, read) — so A for the new version is a filter of the merged table
+  through the new reliable set.  The batch's occurrences splice in by
+  sorted merge; new read indices exceed all old ones, so
+  ``searchsorted(..., side="right")`` keeps ties in (key, read) order.
+
+* **C.**  A pair's C entry is the ordered reduce over its shared reliable
+  columns, and relabeling columns (sorted keys → sorted ids) preserves
+  that order.  A pair's entry can therefore only change if it gains a
+  shared **added** column, loses a shared **removed** column, or involves
+  a **new** read — the affected set ``P₁ ∪ P₂ ∪ P₃``, computed by three
+  scipy pattern products.  The delta product runs the *full* rows of A
+  for the affected row coordinates against the full Aᵀ under the
+  affected-pair mask, so each surviving entry reduces over exactly the
+  same ordered product list as the monolithic product (PR 6 pinned
+  masked ≡ unmasked ∩ mask).
+
+* **R.**  Alignment is per-pair and deterministic, so R is determined by
+  the set of C entries: drop old rows whose unordered pair is affected,
+  append the delta alignment's rows, re-canonicalize.  An old pair
+  outside the affected set still shares an unchanged reliable column
+  (else it lost every shared column and is in ``P₂``), so it stays in C
+  with an identical entry — keeping its R rows verbatim is exact.
+
+* **S / contigs.**  Transitive reduction is re-run in full on the real
+  communicator — it is global (any edge can unlock a reduction anywhere)
+  and cheap relative to alignment, and running it for real makes S and
+  the ``TrReduction`` records identical by construction.
+
+* **Tracker.**  The other stages' traffic is *replayed* onto a fresh
+  tracker from the merged state: the two ``CountKmer`` alltoallv passes
+  and the reliable-set allgather (payload sizes come from the cached
+  per-read routing census, so old reads' k-mers are never re-extracted),
+  ``CreateSpMat`` entry routing, ``ExchangeRead``, and SUMMA's broadcast
+  schedule (a pure function of the operand block sizes —
+  :func:`~repro.dsparse.summa.summa_comm_replay`).  Replays cost array
+  scans, not products.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..align.batch import resolve_align_impl
+from ..core.contigs import extract_contigs
+from ..core.overlap import (align_candidates, charge_a_routing,
+                            exchange_reads)
+from ..core.pipeline import PipelineConfig, run_pipeline
+from ..core.semirings import PositionsSemiring, R_NFIELDS
+from ..core.string_graph import StringGraph
+from ..core.transitive_reduction import transitive_reduction
+from ..dsparse.backend import get_backend
+from ..dsparse.coomat import CooMat
+from ..dsparse.distmat import DistMat
+from ..dsparse.masked import resolve_spgemm_impl
+from ..dsparse.summa import summa, summa_comm_replay
+from ..exec import get_executor, resolve_workers
+from ..mpisim.comm import SimComm
+from ..mpisim.grid import ProcessGrid2D, block_bounds
+from ..mpisim.tracker import CommTracker, StageTimer
+from ..seqs.fasta import ReadSet
+from ..seqs.kmer_counter import (kmer_histogram, merge_histograms,
+                                 reliable_upper_bound, table_from_histogram)
+from ..seqs.kmers import read_kmers_batch, splitmix64
+from .config import ServiceConfig, resolve_refresh_mode
+from .state import AssemblyState
+
+__all__ = ["refresh", "batch_occurrences"]
+
+
+def _resolved_upper(pcfg: PipelineConfig) -> int:
+    if pcfg.kmer_upper is not None:
+        return pcfg.kmer_upper
+    return reliable_upper_bound(pcfg.depth_hint, pcfg.error_hint, pcfg.k)
+
+
+def batch_occurrences(reads: ReadSet, k: int, row_offset: int = 0
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+    """First-window occurrence table of a read set, sorted by (key, read).
+
+    One ``(key, read, pos, flip)`` row per (read, distinct canonical
+    k-mer), keeping the earliest window — the dedup rule of the A scan
+    (:func:`~repro.core.overlap.build_a_matrix`), applied *before* any
+    reliability filter.  Reliability is a property of the k-mer value, so
+    filtering the deduped table through a reliable set later yields
+    exactly the A entries that scan would emit.  ``row_offset`` shifts
+    read indices into the combined set's coordinates.
+    """
+    canon, ridx, pos, flip = read_kmers_batch(*reads.soa(), k)
+    if canon.size == 0:
+        return (np.empty(0, np.uint64), np.empty(0, np.int64),
+                np.empty(0, np.int64), np.empty(0, np.int64))
+    order = np.lexsort((pos, ridx, canon))
+    canon, ridx = canon[order], ridx[order]
+    head = np.empty(canon.shape[0], dtype=bool)
+    head[0] = True
+    head[1:] = (canon[1:] != canon[:-1]) | (ridx[1:] != ridx[:-1])
+    return (canon[head], ridx[head].astype(np.int64) + row_offset,
+            pos[order][head].astype(np.int64),
+            flip[order][head].astype(np.int64))
+
+
+def _in_sorted(sorted_arr: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted array, as a boolean mask."""
+    if sorted_arr.shape[0] == 0 or values.shape[0] == 0:
+        return np.zeros(values.shape[0], dtype=bool)
+    idx = np.minimum(np.searchsorted(sorted_arr, values),
+                     sorted_arr.shape[0] - 1)
+    return sorted_arr[idx] == values
+
+
+def _a_entries(occ_key, occ_read, occ_pos, occ_flip, table
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """A's global COO entries: the occurrence table filtered to ``table``."""
+    col = table.lookup(occ_key)
+    ok = col >= 0
+    return occ_read[ok], col[ok], occ_pos[ok], occ_flip[ok]
+
+
+def _pair_product(rA, cA, rB, cB, n: int, m: int) -> np.ndarray:
+    """Packed strict-upper pairs ``lo·n + hi`` with a shared column.
+
+    ``(i, j)`` is emitted when row ``i`` of the left pattern and row ``j``
+    of the right pattern share a column — one scipy pattern product,
+    canonicalized to unordered off-diagonal pairs.
+    """
+    if rA.shape[0] == 0 or rB.shape[0] == 0 or m == 0:
+        return np.empty(0, np.int64)
+    left = sp.csr_matrix((np.ones(rA.shape[0], np.int64), (rA, cA)),
+                         shape=(n, m))
+    right = sp.csr_matrix((np.ones(rB.shape[0], np.int64), (rB, cB)),
+                          shape=(n, m))
+    prod = (left @ right.T).tocoo()
+    i = prod.row.astype(np.int64)
+    j = prod.col.astype(np.int64)
+    off = i != j
+    i, j = i[off], j[off]
+    return np.unique(np.minimum(i, j) * np.int64(n) + np.maximum(i, j))
+
+
+def _affected_pairs(arow, acol, state: AssemblyState, table, n: int,
+                    n_old: int) -> np.ndarray:
+    """``P₁ ∪ P₂ ∪ P₃``: the pairs whose C entry may differ from version v.
+
+    ``P₁`` — pairs sharing an **added** reliable column (count grew into
+    range) in the new A; ``P₂`` — pairs sharing a **removed** column
+    (count grew past ``upper``) in the *old* A; ``P₃`` — pairs involving a
+    new read.  Counts only grow, so added/removed are disjoint and no
+    other pair's ordered shared-column list changes.
+    """
+    old_table = state.table
+    added_keys = table.kmers[old_table.lookup(table.kmers) < 0]
+    removed_keys = old_table.kmers[table.lookup(old_table.kmers) < 0]
+
+    parts = []
+    if added_keys.shape[0]:
+        added_cols = table.lookup(added_keys)
+        sel = _in_sorted(added_cols, acol)
+        compact = np.searchsorted(added_cols, acol[sel])
+        parts.append(_pair_product(arow[sel], compact, arow[sel], compact,
+                                   n, added_cols.shape[0]))
+    if removed_keys.shape[0]:
+        sel = _in_sorted(removed_keys, state.occ_key)
+        r2 = state.occ_read[sel]
+        c2 = np.searchsorted(removed_keys, state.occ_key[sel])
+        parts.append(_pair_product(r2, c2, r2, c2, n,
+                                   removed_keys.shape[0]))
+    new_rows = arow >= n_old
+    if new_rows.any():
+        parts.append(_pair_product(arow[new_rows], acol[new_rows],
+                                   arow, acol, n, len(table)))
+    if not parts:
+        return np.empty(0, np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+def _route_census(reads: ReadSet, k: int, P: int) -> np.ndarray:
+    """``(n_reads, P)`` counts of each read's k-mer windows per hash owner.
+
+    Row ``r`` is a pure function of read ``r``'s bases (owner =
+    ``splitmix64(canonical window) mod P``), so censuses concatenate
+    across batches and a version's census is its predecessor's rows plus
+    the batch's.
+    """
+    n = len(reads)
+    census = np.zeros((n, P), np.int64)
+    if n == 0:
+        return census
+    canon, ridx, _pos, _flip = read_kmers_batch(*reads.soa(), k)
+    if canon.size:
+        dst = (splitmix64(canon) % np.uint64(P)).astype(np.int64)
+        census = np.bincount(ridx.astype(np.int64) * np.int64(P) + dst,
+                             minlength=n * P).reshape(n, P)
+    return census
+
+
+def _replay_count_kmers(reads: ReadSet, route_counts: np.ndarray, table,
+                        comm: SimComm, batches: int) -> None:
+    """Re-issue ``CountKmer``'s exact traffic from the routing census.
+
+    Both counting passes ship the same per-rank k-mer streams (uint64
+    keys) in the same ``batches`` round slices to the same hash owners,
+    and the collective charges depend only on the per-destination payload
+    *sizes* — which the census yields by prefix sums over each rank's
+    read block.  A round boundary that falls mid-read needs that one
+    read's within-read destination sequence, so only boundary reads (at
+    most ``batches - 1`` per rank) ever get their k-mers re-extracted.
+    The final reliable-dictionary allgather ships each owner's reliable
+    keys (owner = ``splitmix64(key) mod P``).
+    """
+    P = comm.nprocs
+    k = table.k
+    bounds = block_bounds(len(reads), P)
+    per_rank: list[list[np.ndarray]] = []
+    for p in range(P):
+        blo, bhi = int(bounds[p]), int(bounds[p + 1])
+        rc = route_counts[blo:bhi]
+        cum = np.zeros(rc.shape[0] + 1, np.int64)
+        np.cumsum(rc.sum(axis=1), out=cum[1:])
+        cumdst = np.zeros((rc.shape[0] + 1, P), np.int64)
+        np.cumsum(rc, axis=0, out=cumdst[1:])
+        nkm = int(cum[-1])
+
+        prefix_cache: dict[int, np.ndarray] = {}
+
+        def counts_at(x: int) -> np.ndarray:
+            """Destination counts of the rank stream's first ``x`` keys."""
+            got = prefix_cache.get(x)
+            if got is not None:
+                return got
+            i = int(np.searchsorted(cum, x, side="right")) - 1
+            within = x - int(cum[i])
+            if within == 0:
+                res = cumdst[i]
+            else:  # boundary splits read blo + i: count its window prefix
+                canon = read_kmers_batch(
+                    *reads.soa_block(blo + i, blo + i + 1), k)[0]
+                dst = (splitmix64(canon[:within]) %
+                       np.uint64(P)).astype(np.int64)
+                res = cumdst[i] + np.bincount(dst, minlength=P)
+            prefix_cache[x] = res
+            return res
+
+        rounds = []
+        for b in range(batches):
+            lo, hi = (nkm * b) // batches, (nkm * (b + 1)) // batches
+            rounds.append(counts_at(hi) - counts_at(lo))
+        per_rank.append(rounds)
+    # Payload contents never reach the charge accounting — only nbytes do —
+    # so uninitialized buffers of the right length and dtype are exact.
+    for _pass in range(2):
+        for b in range(batches):
+            send = [[np.empty(int(per_rank[p][b][q]), np.uint64)
+                     for q in range(P)] for p in range(P)]
+            comm.alltoallv(send, stage="CountKmer")
+    owner = (splitmix64(table.kmers) % np.uint64(P)).astype(np.int64)
+    comm.allgather([table.kmers[owner == p] for p in range(P)],
+                   stage="CountKmer")
+
+
+def _bumped_empty(state: AssemblyState, mode: str) -> AssemblyState:
+    empty = AssemblyState.initial()
+    return replace(empty, version=state.version + 1, refresh_mode=mode)
+
+
+def _counts(n, m, nnz_a, nnz_c, nnz_r, nnz_s, rounds) -> dict[str, int]:
+    return {"n_reads": int(n), "n_kmers": int(m), "nnz_a": int(nnz_a),
+            "nnz_c": int(nnz_c), "nnz_r": int(nnz_r), "nnz_s": int(nnz_s),
+            "tr_rounds": int(rounds)}
+
+
+def _recompute(state: AssemblyState, batch: ReadSet, pcfg: PipelineConfig
+               ) -> AssemblyState:
+    """The oracle: scratch pipeline run + derivation of the service layers."""
+    combined = state.reads.concat(batch)
+    n = len(combined)
+    if n == 0:
+        return _bumped_empty(state, "recompute")
+    result = run_pipeline(combined, pcfg)
+    k = pcfg.k
+    hist_keys, hist_counts = kmer_histogram(combined, k)
+    table = table_from_histogram(hist_keys, hist_counts, k, lower=2,
+                                 upper=_resolved_upper(pcfg))
+    occ = batch_occurrences(combined, k)
+    arow, acol, _apos, _aflip = _a_entries(*occ, table)
+    c_pack = _pair_product(arow, acol, arow, acol, n, len(table))
+    graph = result.string_graph
+    return AssemblyState(
+        version=state.version + 1, reads=combined,
+        hist_keys=hist_keys, hist_counts=hist_counts, table=table,
+        occ_key=occ[0], occ_read=occ[1], occ_pos=occ[2], occ_flip=occ[3],
+        R=result.R, S=result.S, graph=graph,
+        contigs=extract_contigs(graph),
+        c_ri=c_pack // np.int64(n), c_rj=c_pack % np.int64(n),
+        route_counts=_route_census(combined, k, pcfg.nprocs),
+        counts=_counts(n, result.n_kmers, result.nnz_a, result.nnz_c,
+                       result.nnz_r, result.nnz_s, result.tr_rounds),
+        tracker=result.tracker, timer=result.timer,
+        refresh_mode="recompute")
+
+
+def _incremental(state: AssemblyState, batch: ReadSet,
+                 pcfg: PipelineConfig) -> AssemblyState:
+    """Delta refresh of a non-empty state (see the module docstring)."""
+    k = pcfg.k
+    n_old = len(state.reads)
+    combined = state.reads.concat(batch)
+    n = len(combined)
+    P = pcfg.nprocs
+    backend = get_backend(pcfg.backend)
+    grid = ProcessGrid2D(P)
+    tracker = CommTracker(P)
+    comm = SimComm(P, tracker)
+    # Delta products run against a throwaway communicator: their traffic is
+    # *not* the refreshed dataset's — the replays below charge that.
+    shadow = SimComm(P, CommTracker(P))
+    timer = StageTimer()
+
+    # Counting state: histogram merge, reliable filter, occurrence splice.
+    bk, bc = kmer_histogram(batch, k)
+    hist_keys, hist_counts = merge_histograms(state.hist_keys,
+                                              state.hist_counts, bk, bc)
+    table = table_from_histogram(hist_keys, hist_counts, k, lower=2,
+                                 upper=_resolved_upper(pcfg))
+    nk, nr, npos, nflip = batch_occurrences(batch, k, row_offset=n_old)
+    at = np.searchsorted(state.occ_key, nk, side="right")
+    occ_key = np.insert(state.occ_key, at, nk)
+    occ_read = np.insert(state.occ_read, at, nr)
+    occ_pos = np.insert(state.occ_pos, at, npos)
+    occ_flip = np.insert(state.occ_flip, at, nflip)
+
+    arow, acol, apos, aflip = _a_entries(occ_key, occ_read, occ_pos,
+                                         occ_flip, table)
+    m = len(table)
+    aff = _affected_pairs(arow, acol, state, table, n, n_old)
+
+    if state.route_counts.shape == (n_old, P):
+        route_counts = np.vstack([state.route_counts,
+                                  _route_census(batch, k, P)])
+    else:  # census missing or built for a different grid: rebuild once
+        route_counts = _route_census(combined, k, P)
+
+    A_full = DistMat.from_coo((n, m), grid, arow, acol,
+                              np.stack([apos, aflip], axis=1))
+    At = A_full.transpose(backend=backend)
+
+    # Traffic replays for the stages the delta path skips (TrReduction runs
+    # for real below and charges itself).
+    _replay_count_kmers(combined, route_counts, table, comm,
+                        pcfg.kmer_batches)
+    charge_a_routing(arow, acol, n, m, grid, comm)
+    exchange_reads(combined, grid, comm)
+    summa_comm_replay(A_full, At, comm, "SpGEMM")
+
+    old_r = state.R
+    with get_executor(pcfg.executor, resolve_workers(pcfg.workers)) as ex:
+        if aff.shape[0]:
+            lo, hi = aff // np.int64(n), aff % np.int64(n)
+            rows_aff = np.unique(lo)
+            sel = _in_sorted(rows_aff, arow)
+            A_aff = DistMat.from_coo(
+                (n, m), grid, arow[sel], acol[sel],
+                np.stack([apos[sel], aflip[sel]], axis=1))
+            mask = DistMat.from_coo((n, n), grid, lo, hi,
+                                    np.ones((lo.shape[0], 1), np.int64))
+            Cd = summa(A_aff, At, PositionsSemiring(), shadow, "SpGEMM",
+                       timer, backend=backend, executor=ex, mask=mask)
+            Rd = align_candidates(Cd, combined, k, shadow, timer,
+                                  mode=pcfg.align_mode,
+                                  scoring=pcfg.scoring, filt=pcfg.filt,
+                                  fuzz=pcfg.fuzz, executor=ex,
+                                  impl=resolve_align_impl(pcfg.align_impl)
+                                  ).to_global()
+            cd_pack = Cd.to_global()
+            cd_pack = cd_pack.row * np.int64(n) + cd_pack.col
+        else:
+            Rd = CooMat.empty((n, n), R_NFIELDS)
+            cd_pack = np.empty(0, np.int64)
+
+        # R splice: drop affected pairs' old rows, append the delta's.
+        if old_r is not None and old_r.nnz:
+            opack = np.minimum(old_r.row, old_r.col) * np.int64(n) + \
+                np.maximum(old_r.row, old_r.col)
+            keep = ~_in_sorted(aff, opack)
+            r_row = np.concatenate([old_r.row[keep], Rd.row])
+            r_col = np.concatenate([old_r.col[keep], Rd.col])
+            r_vals = np.vstack([old_r.vals[keep], Rd.vals])
+        else:
+            r_row, r_col, r_vals = Rd.row, Rd.col, Rd.vals
+        R_global = CooMat((n, n), r_row, r_col, r_vals)
+
+        # Candidate-pair bookkeeping (nnz_c without re-forming A·Aᵀ).
+        opc = state.c_ri * np.int64(n) + state.c_rj
+        c_pack = np.unique(np.concatenate([opc[~_in_sorted(aff, opc)],
+                                           cd_pack]))
+
+        R_dist = DistMat.from_coo((n, n), grid, R_global.row, R_global.col,
+                                  R_global.vals)
+        tr = transitive_reduction(
+            R_dist, comm, timer, fuzz=pcfg.fuzz,
+            max_rounds=pcfg.max_tr_rounds, backend=backend, executor=ex,
+            spgemm_impl=resolve_spgemm_impl(pcfg.spgemm_impl))
+
+    S_global = tr.S.to_global()
+    graph = StringGraph.from_coomat(S_global)
+    return AssemblyState(
+        version=state.version + 1, reads=combined,
+        hist_keys=hist_keys, hist_counts=hist_counts, table=table,
+        occ_key=occ_key, occ_read=occ_read, occ_pos=occ_pos,
+        occ_flip=occ_flip,
+        R=R_global, S=S_global, graph=graph,
+        contigs=extract_contigs(graph),
+        c_ri=c_pack // np.int64(n), c_rj=c_pack % np.int64(n),
+        route_counts=route_counts,
+        counts=_counts(n, m, arow.shape[0], c_pack.shape[0],
+                       R_global.nnz, S_global.nnz, tr.rounds),
+        tracker=tracker, timer=timer, refresh_mode="incremental")
+
+
+def refresh(state: AssemblyState, batch: ReadSet,
+            config: ServiceConfig | None = None,
+            mode: str | None = None) -> AssemblyState:
+    """Version ``v + 1`` from version ``v`` plus a read batch.
+
+    ``mode`` overrides the config's ``refresh_mode`` (both resolve through
+    :func:`~repro.service.config.resolve_refresh_mode`, so ``"auto"``
+    honors ``REPRO_REFRESH_MODE``).  Whatever the pipeline config's
+    ``overlap_mode`` says, the candidate path is monolithic — the blocked
+    mode strip-mines a batch-sized product that the incremental engine
+    never forms.  An empty initial state always bootstraps through the
+    scratch run (there is nothing to be incremental against).
+    """
+    config = config if config is not None else ServiceConfig()
+    mode = resolve_refresh_mode(mode if mode is not None
+                                else config.refresh_mode)
+    pcfg = replace(config.pipeline, overlap_mode="monolithic")
+    t0 = time.perf_counter()
+    if len(state.reads) == 0 and len(batch) == 0:
+        new = _bumped_empty(state, mode)
+    elif mode == "recompute" or len(state.reads) == 0:
+        new = _recompute(state, batch, pcfg)
+    else:
+        new = _incremental(state, batch, pcfg)
+    return replace(new, refresh_seconds=time.perf_counter() - t0)

@@ -1,0 +1,71 @@
+"""Version-keyed LRU cache for query results.
+
+Every cache key embeds the dataset version the result was computed
+against: ``(endpoint, sorted params, version)``.  A refresh therefore
+never has to *flush* anything — queries against the new version simply
+miss, and :meth:`QueryCache.invalidate_stale` sweeps entries of older
+versions out eagerly so the LRU capacity is spent on live results.  This
+is exactly what makes caching safe next to incremental updates: a stale
+hit is impossible by construction, because stale entries are unreachable
+under the new version's keys.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Mapping
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """Thread-safe LRU mapping ``(endpoint, params, version) -> result``."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key(endpoint: str, params: Mapping[str, Any], version: int) -> tuple:
+        return (endpoint, tuple(sorted(params.items())), version)
+
+    def get(self, key: tuple):
+        """The cached result, or ``None`` on a miss (LRU-promoting hits)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_stale(self, current_version: int) -> int:
+        """Drop every entry computed against a version other than current."""
+        with self._lock:
+            stale = [k for k in self._entries if k[2] != current_version]
+            for k in stale:
+                del self._entries[k]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses, "evictions": self.evictions,
+                    "invalidations": self.invalidations}

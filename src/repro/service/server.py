@@ -1,0 +1,190 @@
+"""The HTTP face of the incremental assembly service.
+
+:class:`AssemblyService` is the transport-free core — ingest a batch,
+answer overlap/contig/stats queries against the current version through
+the cache — and :func:`make_server` wraps it in a stdlib
+``ThreadingHTTPServer`` speaking JSON:
+
+========  =================  ==========================================
+method    path               effect
+========  =================  ==========================================
+``POST``  ``/reads``         ingest ``{"reads": [{"name", "seq"}, ...]}``
+                             → refresh → version bump
+``GET``   ``/version``       current dataset version + read count
+``GET``   ``/overlaps/<i>``  read ``i``'s R row (cached)
+``GET``   ``/contigs``       contig layout, largest first (cached)
+``GET``   ``/stats``         counts, per-stage comm, cache counters
+========  =================  ==========================================
+
+Queries are served from whatever state is current when they arrive;
+ingests serialize on a lock, refresh *outside* the store (readers keep
+the old version meanwhile), then commit and sweep stale cache entries.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.semirings import R_END_I, R_END_J, R_OLEN, R_SUFFIX
+from ..seqs.dna import encode
+from ..seqs.fasta import ReadSet
+from .config import ServiceConfig
+from .incremental import refresh
+from .query_cache import QueryCache
+from .state import AssemblyState, SessionStore
+
+__all__ = ["AssemblyService", "make_server"]
+
+
+class AssemblyService:
+    """Session store + refresh engine + query cache, behind plain methods."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.store = SessionStore(AssemblyState.initial())
+        self.cache = QueryCache(self.config.cache_entries)
+        self._ingest_lock = threading.Lock()
+
+    # -- mutation ----------------------------------------------------------
+    def ingest(self, names: list[str], seqs: list[str]) -> dict:
+        """Fold a batch of reads in; returns the new version's summary."""
+        batch = ReadSet(list(names), [encode(s) for s in seqs])
+        with self._ingest_lock:
+            state = refresh(self.store.current(), batch, self.config)
+            self.store.commit(state)
+            self.cache.invalidate_stale(state.version)
+        return {"version": state.version, "ingested": len(batch),
+                "refresh_mode": state.refresh_mode,
+                "refresh_seconds": state.refresh_seconds,
+                "counts": state.counts}
+
+    # -- queries -----------------------------------------------------------
+    def _cached(self, endpoint: str, params: dict, compute):
+        state = self.store.current()
+        key = self.cache.key(endpoint, params, state.version)
+        result = self.cache.get(key)
+        if result is None:
+            result = compute(state)
+            self.cache.put(key, result)
+        return result
+
+    def version(self) -> dict:
+        state = self.store.current()
+        return {"version": state.version,
+                "n_reads": state.counts["n_reads"]}
+
+    def overlaps(self, read: int) -> dict:
+        def compute(state: AssemblyState) -> dict:
+            out = []
+            if state.R is not None:
+                sel = state.R.row == read
+                for col, vals in zip(state.R.col[sel].tolist(),
+                                     state.R.vals[sel]):
+                    out.append({"read": col,
+                                "suffix": int(vals[R_SUFFIX]),
+                                "end_i": int(vals[R_END_I]),
+                                "end_j": int(vals[R_END_J]),
+                                "overlap_len": int(vals[R_OLEN])})
+            return {"version": state.version, "read": read,
+                    "overlaps": out}
+        return self._cached("overlaps", {"read": int(read)}, compute)
+
+    def contigs(self) -> dict:
+        def compute(state: AssemblyState) -> dict:
+            ordered = sorted(state.contigs, key=len, reverse=True)
+            return {"version": state.version,
+                    "contigs": [{"reads": list(c.reads),
+                                 "orientations": list(c.orientations)}
+                                for c in ordered]}
+        return self._cached("contigs", {}, compute)
+
+    def stats(self) -> dict:
+        def compute(state: AssemblyState) -> dict:
+            comm = {}
+            if state.tracker is not None:
+                for stage, rec in sorted(state.tracker.records.items()):
+                    comm[stage] = {"bytes": int(rec.total_bytes),
+                                   "messages": int(rec.total_messages)}
+            return {"version": state.version, "counts": state.counts,
+                    "refresh_mode": state.refresh_mode,
+                    "refresh_seconds": state.refresh_seconds,
+                    "comm": comm}
+        result = dict(self._cached("stats", {}, compute))
+        # Cache counters ride on top uncached (they change on every query).
+        result["cache"] = self.cache.stats()
+        return result
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON request handler bound to one :class:`AssemblyService`."""
+
+    service: AssemblyService  # set by make_server's subclass
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep test output and demo terminals quiet
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.rstrip("/") or "/"
+        try:
+            if path == "/version":
+                self._reply(self.service.version())
+            elif path == "/stats":
+                self._reply(self.service.stats())
+            elif path == "/contigs":
+                self._reply(self.service.contigs())
+            elif path.startswith("/overlaps/"):
+                try:
+                    read = int(path.rsplit("/", 1)[1])
+                except ValueError:
+                    self._reply({"error": "read id must be an integer"}, 400)
+                    return
+                self._reply(self.service.overlaps(read))
+            else:
+                self._reply({"error": f"unknown endpoint {path}"}, 404)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply({"error": str(exc)}, 500)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") != "/reads":
+            self._reply({"error": f"unknown endpoint {self.path}"}, 404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            reads = payload.get("reads", [])
+            names = [str(r["name"]) for r in reads]
+            seqs = [str(r["seq"]) for r in reads]
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply({"error": f"bad request body: {exc}"}, 400)
+            return
+        try:
+            self._reply(self.service.ingest(names, seqs))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply({"error": str(exc)}, 500)
+
+
+def make_server(service: AssemblyService, host: str | None = None,
+                port: int | None = None) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``service``.
+
+    ``port=0`` asks the OS for a free port (the test suite's mode); the
+    bound address is on ``server.server_address``.
+    """
+    host = host if host is not None else service.config.host
+    port = port if port is not None else service.config.port
+
+    class BoundHandler(_Handler):
+        pass
+
+    BoundHandler.service = service
+    return ThreadingHTTPServer((host, port), BoundHandler)

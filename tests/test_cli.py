@@ -127,3 +127,30 @@ def test_parser_memory_budget_suffixes():
             ["stats", "x.fa", "--memory-budget", "0"])
     with pytest.raises(SystemExit):
         build_parser().parse_args(["stats", "x.fa", "--n-strips", "0"])
+
+
+def test_serve_parser_defaults_match_config():
+    """The serve subcommand reads every default from ServiceConfig /
+    PipelineConfig, so the CLI cannot drift from the library defaults."""
+    from repro.service import ServiceConfig
+
+    scfg = ServiceConfig()
+    cfg = PipelineConfig()
+    args = build_parser().parse_args(["serve"])
+    assert args.host == scfg.host
+    assert args.port == scfg.port
+    assert args.refresh_mode == scfg.refresh_mode
+    assert args.cache_entries == scfg.cache_entries
+    assert args.initial is None
+    assert args.k == cfg.k
+    assert args.nprocs == cfg.nprocs
+    assert args.align_mode == cfg.align_mode
+    assert args.align_impl == cfg.align_impl
+    assert args.kmer_impl == cfg.kmer_impl
+    assert args.spgemm_impl == cfg.spgemm_impl
+    assert args.fuzz == cfg.fuzz
+    assert args.depth_hint == cfg.depth_hint
+    assert args.error_hint == cfg.error_hint
+    assert args.backend == cfg.backend
+    assert args.workers == cfg.workers
+    assert args.executor == cfg.executor

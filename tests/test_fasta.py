@@ -77,3 +77,50 @@ def test_chunked_read_ranges_more_procs_than_records():
     ranges = chunked_read_ranges(starts, file_size=100, nprocs=8)
     total = sum(hi - lo for lo, hi in ranges)
     assert total == 2
+
+
+def test_readset_extend_invalidates_soa_cache():
+    """Regression: extend() must drop the cached SoA view.
+
+    The (codes, offsets, lengths) tuple is built lazily and cached; before
+    the invalidation, appending reads kept serving the stale buffers and
+    the batched engines silently ignored every read added after the first
+    soa() call.
+    """
+    rs = _toy_reads()
+    codes0, offsets0, lengths0 = rs.soa()     # prime the cache
+    n0, total0 = len(rs), codes0.shape[0]
+
+    extra = np.array([0, 1, 2, 3, 3, 2], dtype=np.uint8)
+    rs.extend(["late"], [extra])
+
+    codes1, offsets1, lengths1 = rs.soa()
+    assert len(rs) == n0 + 1
+    assert lengths1.shape[0] == n0 + 1
+    assert codes1.shape[0] == total0 + extra.shape[0]
+    assert lengths1[-1] == extra.shape[0]
+    assert np.array_equal(codes1[offsets1[-1]:], extra)
+    # Pre-existing reads keep their indices and bytes.
+    assert np.array_equal(codes1[:total0], codes0)
+    assert np.array_equal(lengths1[:n0], lengths0)
+    assert np.array_equal(offsets1[:n0], offsets0)
+    # Length mismatch is rejected before any mutation.
+    with pytest.raises(ValueError):
+        rs.extend(["a", "b"], [extra])
+    assert len(rs) == n0 + 1
+
+
+def test_readset_concat_is_copy_on_write():
+    """concat() builds fresh lists; extending either set never leaks into
+    the other (the versioned-snapshot property the service relies on)."""
+    a = _toy_reads()
+    n_a = len(a)
+    b = ReadSet(["x"], [np.array([1, 2, 3], dtype=np.uint8)])
+    both = a.concat(b)
+    assert len(both) == len(a) + len(b)
+    assert both.names == a.names + b.names
+
+    both.extend(["y"], [np.array([0], dtype=np.uint8)])
+    assert len(a) == n_a and len(b) == 1
+    a.extend(["z"], [np.array([2], dtype=np.uint8)])
+    assert len(both) == n_a + 2  # unaffected by a's growth
