@@ -1,0 +1,156 @@
+"""Sketched seeding vs full-k: matrix-size reduction and overlap recall.
+
+Full-k seeding puts every reliable k-mer window into A, so nnz(A) — and
+through C = A·Aᵀ every downstream stage — scales with total read length.
+The ``--seed-mode`` sketches (minimizer / open syncmer, PR 8) keep a
+density-``~1/w`` subset of windows chosen so that any sufficiently long
+shared substring still yields a shared seed: true overlaps survive, while
+candidate pairs that share only short, scattered repeat seeds are pruned
+from C before alignment ever sees them.
+
+The dataset makes that separation measurable: a repeat-dense genome (k=13
+on a 800 kb random genome ≈ one natural 2-copy 13-mer every ~100 bp —
+birthday-collision repeats, each an *isolated* shared seed) under
+long-ish reads, so the full-k candidate matrix is dominated by
+single-seed repeat pairs exactly as real repetitive genomes produce.
+
+Measured per mode: nnz(A), nnz(C), wall-clock, and recall of the full-k
+pipeline's *true* overlap pairs (ground-truth overlap >= 500 bp — the
+BELLA criterion).  Gates (the PR's acceptance bar, on fixed seeds, so the
+counts are deterministic):
+
+* minimizer at w=8 shrinks nnz(A) and nnz(C) >= ``MIN_SEED_REDUCTION``×;
+* recall of full-k's true pairs stays >= ``MIN_SEED_RECALL``.
+
+``REPRO_BENCH_MIN_SEED_REDUCTION`` overrides the reduction bar (``0``
+records without gating, which also disables the recall gate).  Results
+land in ``BENCH_seed.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.eval.assembly_metrics import pair_recall
+from repro.eval.report import format_table
+from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_seed.json"
+
+#: Repeat-dense long-read dataset.  k=13 over 800 kb gives ~4800 natural
+#: two-copy k-mers; each is an isolated shared seed planting spurious
+#: candidate pairs that sketching prunes, while 5 kb reads at depth 8 share
+#: long exact runs (error 3% → mean exact stretch ~17 bp, frequent >= k+w-1
+#: runs) that guarantee shared sketch seeds for true overlaps.
+GENOME_LENGTH = 800_000
+DEPTH = 8
+MEAN_LEN = 5_000
+MIN_LEN = 2_500
+ERROR_RATE = 0.03
+K = 13
+SEED_W = 8
+NPROCS = 4
+MIN_OVERLAP = 500  # BELLA's "true overlap" threshold (bases)
+
+#: The PR's acceptance gates (deterministic on the fixed-seed dataset).
+MIN_SEED_REDUCTION = 3.0
+MIN_SEED_RECALL = 0.95
+
+MODES = ("full", "minimizer", "syncmer")
+
+
+def _dataset():
+    _genome, reads, layout = simulate_reads(
+        ReadSimSpec(GenomeSpec(length=GENOME_LENGTH, seed=7),
+                    depth=DEPTH, mean_len=MEAN_LEN, min_len=MIN_LEN,
+                    error=ErrorModel(rate=ERROR_RATE), seed=3))
+    reads.soa()  # build the SoA cache outside the timed region
+    return reads, layout
+
+
+def _run_mode(reads, mode):
+    cfg = PipelineConfig(k=K, nprocs=NPROCS, align_mode="chain",
+                         depth_hint=DEPTH, error_hint=ERROR_RATE,
+                         seed_mode=mode, seed_w=SEED_W)
+    t0 = time.perf_counter()
+    res = run_pipeline(reads, cfg)
+    wall = time.perf_counter() - t0
+    pairs = {(min(a, b), max(a, b))
+             for a, b in zip(res.R.row.tolist(), res.R.col.tolist())}
+    return {"mode": mode, "nnz_a": res.nnz_a, "nnz_c": res.nnz_c,
+            "pairs": pairs, "seconds": wall}
+
+
+def test_seed_mode_reduction(benchmark):
+    reads, layout = _dataset()
+    truth = layout.overlap_pairs(MIN_OVERLAP)
+
+    def run():
+        return {mode: _run_mode(reads, mode) for mode in MODES}
+
+    by_mode = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    full = by_mode["full"]
+    # Full-k's correctly-detected true overlaps: the oracle pair set the
+    # sketched modes must preserve.
+    full_true = full["pairs"] & truth
+
+    rows = []
+    for mode in MODES:
+        r = by_mode[mode]
+        r["a_reduction"] = full["nnz_a"] / max(1, r["nnz_a"])
+        r["c_reduction"] = full["nnz_c"] / max(1, r["nnz_c"])
+        r["recall_vs_full"] = pair_recall(r["pairs"], full_true)
+        rows.append({
+            "mode": mode, "nnz_a": r["nnz_a"], "nnz_c": r["nnz_c"],
+            "A reduction": f"{r['a_reduction']:.2f}x",
+            "C reduction": f"{r['c_reduction']:.2f}x",
+            "recall vs full": f"{r['recall_vs_full']:.4f}",
+            "seconds": f"{r['seconds']:.2f}",
+        })
+    print()
+    print(format_table(rows, title=(
+        f"Seeding modes ({len(reads)} reads, k={K}, w={SEED_W}, "
+        f"|full true pairs|={len(full_true)})")))
+
+    record = {
+        "bench": "seed_mode",
+        "dataset": {"genome_length": GENOME_LENGTH, "depth": DEPTH,
+                    "mean_len": MEAN_LEN, "min_len": MIN_LEN,
+                    "error_rate": ERROR_RATE, "n_reads": len(reads),
+                    "k": K, "seed_w": SEED_W, "nprocs": NPROCS,
+                    "min_overlap": MIN_OVERLAP,
+                    "n_full_true_pairs": len(full_true)},
+        "modes": {mode: {
+            "nnz_a": int(by_mode[mode]["nnz_a"]),
+            "nnz_c": int(by_mode[mode]["nnz_c"]),
+            "a_reduction": round(by_mode[mode]["a_reduction"], 3),
+            "c_reduction": round(by_mode[mode]["c_reduction"], 3),
+            "recall_vs_full": round(by_mode[mode]["recall_vs_full"], 5),
+            "seconds": round(by_mode[mode]["seconds"], 3),
+        } for mode in MODES},
+    }
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    mini = by_mode["minimizer"]
+    print(f"wrote {JSON_PATH.name} (minimizer w={SEED_W}: "
+          f"nnz(A) {mini['a_reduction']:.2f}x, "
+          f"nnz(C) {mini['c_reduction']:.2f}x, "
+          f"recall {mini['recall_vs_full']:.4f})")
+
+    min_reduction = float(os.environ.get("REPRO_BENCH_MIN_SEED_REDUCTION",
+                                         str(MIN_SEED_REDUCTION)))
+    if min_reduction > 0.0:
+        for mode in ("minimizer", "syncmer"):
+            r = by_mode[mode]
+            assert r["a_reduction"] >= min_reduction, (
+                f"{mode}: expected >= {min_reduction}x nnz(A) reduction, "
+                f"measured {r['a_reduction']:.2f}x")
+            assert r["c_reduction"] >= min_reduction, (
+                f"{mode}: expected >= {min_reduction}x nnz(C) reduction, "
+                f"measured {r['c_reduction']:.2f}x")
+            assert r["recall_vs_full"] >= MIN_SEED_RECALL, (
+                f"{mode}: expected >= {MIN_SEED_RECALL} recall of full-k's "
+                f"true overlaps, measured {r['recall_vs_full']:.4f}")

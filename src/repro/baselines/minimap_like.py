@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..seqs.fasta import ReadSet
-from ..seqs.minimizers import minimizers
+from ..seqs.minimizers import minimizers_batch
 
 __all__ = ["MinimapLikeResult", "run_minimap_like"]
 
@@ -69,13 +69,19 @@ def run_minimap_like(reads: ReadSet, k: int = 15, w: int = 10, *,
         query) — the cheap stand-in for minimap2's chaining score cutoff.
     """
     t0 = time.perf_counter()
+    # One shared batched extraction over the whole read set — the same
+    # extractor the pipeline's minimizer seed mode uses
+    # (:class:`repro.seqs.seeding.MinimizerScheme`), so baseline and
+    # pipeline sketching cannot drift.
+    km_all, ridx_all, pos_all, _flip = minimizers_batch(*reads.soa(), k, w)
+    counts = np.bincount(ridx_all, minlength=len(reads))
+    cuts = np.cumsum(counts[:-1]) if len(reads) else np.empty(0, np.int64)
+    per_read: list[tuple[np.ndarray, np.ndarray]] = list(
+        zip(np.split(km_all, cuts), np.split(pos_all, cuts)))
     index: dict[int, list[tuple[int, int]]] = defaultdict(list)
-    per_read: list[tuple[np.ndarray, np.ndarray]] = []
-    for rid in range(len(reads)):
-        km, pos = minimizers(reads[rid], k, w)
-        per_read.append((km, pos))
-        for kv, pv in zip(km.tolist(), pos.tolist()):
-            index[kv].append((rid, pv))
+    for rid, kv, pv in zip(ridx_all.tolist(), km_all.tolist(),
+                           pos_all.tolist()):
+        index[kv].append((rid, pv))
     index_seconds = time.perf_counter() - t0
 
     t1 = time.perf_counter()

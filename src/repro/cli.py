@@ -30,6 +30,7 @@ from .exec import available_executors
 from .mpisim.machine import MACHINES
 from .seqs.dna import GenomeSpec, decode
 from .seqs.kmer_counter import KMER_IMPLS
+from .seqs.seeding import SEED_MODES
 from .seqs.fasta import read_fasta, write_fasta
 from .seqs.simulator import ErrorModel, ReadSimSpec, simulate_reads
 from .service import REFRESH_MODES, AssemblyService, ServiceConfig, \
@@ -152,6 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="peak candidate-matrix byte budget for blocked "
                             "mode, e.g. 64M or 2G; the strip scheduler "
                             "picks the smallest strip count that fits")
+        p.add_argument("--seed-mode", choices=("auto",) + SEED_MODES,
+                       default=cfg.seed_mode,
+                       help="seeding scheme: 'full' seeds with every "
+                            "reliable k-mer window (the paper's behavior), "
+                            "'minimizer'/'syncmer' sketch reads to "
+                            "~2/(w+1) / 1/w of their windows before "
+                            "counting and A construction — shrinking "
+                            "nnz(A)/nnz(C) ~w-fold at a small recall "
+                            "cost; 'auto' honors REPRO_SEED_MODE, else "
+                            "full")
+        p.add_argument("--seed-w", type=int, default=cfg.seed_w,
+                       help="window parameter of the sketched seed modes "
+                            "(k-mers per minimizer window; syncmer submer "
+                            "length is k - w + 1); ignored by --seed-mode "
+                            "full")
 
     asm = sub.add_parser("assemble", help="run the pipeline, write contigs")
     add_pipeline_args(asm)
@@ -193,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
                      default=cfg.kmer_impl)
     srv.add_argument("--spgemm-impl", choices=("auto",) + SPGEMM_IMPLS,
                      default=cfg.spgemm_impl)
+    srv.add_argument("--seed-mode", choices=("auto",) + SEED_MODES,
+                     default=cfg.seed_mode,
+                     help="seeding scheme of the session (full, minimizer, "
+                          "or syncmer); incremental refreshes refuse "
+                          "batches under a different scheme")
+    srv.add_argument("--seed-w", type=int, default=cfg.seed_w)
     srv.add_argument("--fuzz", type=int, default=cfg.fuzz)
     srv.add_argument("--depth-hint", type=float, default=cfg.depth_hint)
     srv.add_argument("--error-hint", type=float, default=cfg.error_hint)
@@ -231,7 +253,8 @@ def _run(args):
                          workers=args.workers, executor=args.executor,
                          overlap_mode=args.overlap_mode,
                          n_strips=args.n_strips,
-                         memory_budget=args.memory_budget)
+                         memory_budget=args.memory_budget,
+                         seed_mode=args.seed_mode, seed_w=args.seed_w)
     return run_pipeline_from_fasta(args.reads, cfg)
 
 
@@ -242,6 +265,11 @@ def _print_stats(result, machine_name: str) -> None:
           f"{result.align_impl} engine")
     print(f"k-mer counting: {result.kmer_impl} engine")
     print(f"spgemm: {result.spgemm_impl} engine")
+    if result.seed_mode == "full":
+        print("seeding: full (every k-mer window)")
+    else:
+        print(f"seeding: {result.seed_mode} scheme "
+              f"(w = {result.config.seed_w})")
     if result.overlap_mode == "blocked":
         print(f"overlap mode: blocked ({result.n_strips} strips)")
     print(f"nnz(C) = {result.nnz_c}  (c = {result.c_density:.1f})")
@@ -298,7 +326,8 @@ def _cmd_serve(args) -> int:
                           depth_hint=args.depth_hint,
                           error_hint=args.error_hint,
                           backend=args.backend, workers=args.workers,
-                          executor=args.executor)
+                          executor=args.executor,
+                          seed_mode=args.seed_mode, seed_w=args.seed_w)
     service = AssemblyService(ServiceConfig(
         host=args.host, port=args.port, refresh_mode=args.refresh_mode,
         cache_entries=args.cache_entries, pipeline=pcfg))

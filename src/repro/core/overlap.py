@@ -44,7 +44,7 @@ from ..mpisim.grid import ProcessGrid2D, block_bounds
 from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet
 from ..seqs.kmer_counter import KmerTable, resolve_kmer_impl
-from ..seqs.kmers import canonical_kmers, pack_kmers, read_kmers_batch
+from ..seqs.seeding import FullKScheme, SeedScheme
 from .memory import coo_nbytes
 from .semirings import (A_FLIP, A_POS, C_COUNT, C_NFIELDS, C_PA1, C_PA2,
                         C_PB1, C_PB2, C_STRAND1, C_STRAND2,
@@ -75,23 +75,21 @@ class AlignmentFilter:
 
 
 def _a_scan_task(ctx, span):
-    """Executor task: one 1D rank's (read, k-mer) entry scan."""
-    reads, table = ctx
+    """Executor task: one 1D rank's (read, seed k-mer) entry scan."""
+    reads, table, scheme = ctx
     lo, hi = span
     rr, cc, vv = [], [], []
     for gi in range(lo, hi):
-        codes = reads[gi]
-        fwd = pack_kmers(codes, table.k)
-        if fwd.shape[0] == 0:
+        keys, seed_pos, seed_flip = scheme.seeds_of_read(reads[gi])
+        if keys.shape[0] == 0:
             continue
-        canon = canonical_kmers(fwd, table.k)
-        col = table.lookup(canon)
+        col = table.lookup(keys)
         ok = col >= 0
         if not ok.any():
             continue
-        pos = np.flatnonzero(ok).astype(np.int64)
+        pos = seed_pos[ok]
         col = col[ok]
-        flip = (canon[ok] != fwd[ok]).astype(np.int64)
+        flip = seed_flip[ok].astype(np.int64)
         # Keep the first occurrence per (read, k-mer).
         _, first = np.unique(col, return_index=True)
         rr.append(np.full(first.shape[0], gi, dtype=np.int64))
@@ -111,10 +109,9 @@ def _a_scan_batch_task(ctx, task):
     Output entries are ordered by (read, column) with the first-occurrence
     position/flip per (read, k-mer) — exactly the loop task's order.
     """
-    table = ctx
+    table, scheme = ctx
     lo, codes, offsets, lengths = task
-    canon, ridx, pos, flip = read_kmers_batch(codes, offsets, lengths,
-                                              table.k)
+    canon, ridx, pos, flip = scheme.seeds_of_block(codes, offsets, lengths)
     col = table.lookup(canon)
     ok = col >= 0
     if not ok.any():
@@ -135,24 +132,30 @@ def _a_scan_batch_task(ctx, task):
 def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
                    comm: SimComm, timer: StageTimer | None = None,
                    executor: Executor | None = None,
-                   impl: str | None = None) -> DistMat:
+                   impl: str | None = None,
+                   scheme: SeedScheme | None = None) -> DistMat:
     """Construct the distributed |reads|×|k-mers| matrix ``A``.
 
-    Each 1D source rank scans its block of reads, looks its k-mers up in the
-    reliable dictionary (a distributed-hash lookup in a real run) and routes
-    the resulting ``(read, column, pos, flip)`` entries to their 2D block
-    owners; that routing is the ``CreateSpMat`` traffic.  The per-rank scans
-    are independent and run on ``executor``.
+    Each 1D source rank scans its block of reads, looks its seed k-mers up
+    in the reliable dictionary (a distributed-hash lookup in a real run)
+    and routes the resulting ``(read, column, pos, flip)`` entries to their
+    2D block owners; that routing is the ``CreateSpMat`` traffic.  The
+    per-rank scans are independent and run on ``executor``.
 
     ``impl`` selects the scan engine (:func:`resolve_kmer_impl`):
     ``"batch"`` runs each rank's scan as one vectorized
-    :func:`~repro.seqs.kmers.read_kmers_batch` pass with column-op lookup
-    and dedup; ``"loop"`` scans read by read (the reference oracle).  A is
-    byte-identical either way.
+    :meth:`~repro.seqs.seeding.SeedScheme.seeds_of_block` pass with
+    column-op lookup and dedup; ``"loop"`` scans read by read (the
+    reference oracle).  A is byte-identical either way.  ``scheme`` picks
+    which windows seed A (``None`` = full-k, the paper's every-window
+    behavior); sparse schemes shrink nnz(A) by their seed density while
+    the entry layout (first occurrence per (read, k-mer), position/flip
+    payload) is unchanged.
     """
     timer = timer if timer is not None else StageTimer()
     executor = executor if executor is not None else SERIAL
     impl = resolve_kmer_impl(impl)
+    scheme = scheme if scheme is not None else FullKScheme(table.k)
     stage = "CreateSpMat"
     P = comm.nprocs
     n = len(reads)
@@ -164,11 +167,11 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
         if impl == "batch":
             tasks = [(lo,) + reads.soa_block(lo, hi) for lo, hi in spans]
             parts, secs = executor.run_timed(
-                _a_scan_batch_task, tasks, context=table,
+                _a_scan_batch_task, tasks, context=(table, scheme),
                 weights=[t[1].shape[0] for t in tasks])
         else:
             parts, secs = executor.run_timed(
-                _a_scan_task, spans, context=(reads, table),
+                _a_scan_task, spans, context=(reads, table, scheme),
                 weights=[hi - lo for lo, hi in spans])
         step.charge_many(range(P), secs)
     rows_parts = [part[0] for part in parts if part is not None]

@@ -34,6 +34,7 @@ from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet, read_fasta
 from ..seqs.kmer_counter import (count_kmers, reliable_upper_bound,
                                  resolve_kmer_impl)
+from ..seqs.seeding import DEFAULT_SEED_W, make_scheme, resolve_seed_mode
 from .blocked import candidate_overlaps_blocked
 from .memory import plan_strips, resolve_overlap_mode
 from .overlap import (AlignmentFilter, align_candidates, build_a_matrix,
@@ -107,6 +108,20 @@ class PipelineConfig:
     (bytes the live candidate strip may occupy — see
     :func:`repro.core.memory.plan_strips`) picks the count from the
     measured ``nnz(A)`` and the BELLA density model.
+
+    ``seed_mode`` selects the seeding scheme
+    (:func:`repro.seqs.seeding.resolve_seed_mode`): ``"full"`` seeds with
+    every reliable k-mer window (the paper's behavior, byte-identical to
+    the historical hardwired path), ``"minimizer"`` / ``"syncmer"`` sketch
+    each read down to ~``2/(w+1)`` / ``1/w`` of its windows before
+    counting and A construction — shrinking nnz(A), nnz(C), alignment
+    work, and service refresh cost at a small recall cost measured by
+    ``benchmarks/bench_seed_mode.py``; ``"auto"`` honors
+    ``REPRO_SEED_MODE``, else runs ``full``.  ``seed_w`` is the window
+    parameter of the sketched schemes (ignored by ``full``).  Unlike the
+    ``*_impl`` axes this one intentionally changes output — but for a
+    fixed mode it stays byte-identical across executors, engines, strip
+    counts, and service batchings (schemes are pure per-read functions).
     """
 
     k: int = 17
@@ -129,6 +144,8 @@ class PipelineConfig:
     overlap_mode: str = "auto"
     n_strips: int | None = None
     memory_budget: int | None = None
+    seed_mode: str = "auto"
+    seed_w: int = DEFAULT_SEED_W
 
 
 @dataclass
@@ -152,6 +169,7 @@ class PipelineResult:
     align_impl: str = "batch"
     kmer_impl: str = "batch"
     spgemm_impl: str = "masked"
+    seed_mode: str = "full"
     #: The pre-reduction overlap matrix (global, canonical order).  The
     #: incremental assembly service splices delta rows into it on refresh;
     #: batch callers may ignore it.
@@ -239,6 +257,8 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     align_impl = resolve_align_impl(config.align_impl)
     kmer_impl = resolve_kmer_impl(config.kmer_impl)
     spgemm_impl = resolve_spgemm_impl(config.spgemm_impl)
+    seed_mode = resolve_seed_mode(config.seed_mode)
+    scheme = make_scheme(seed_mode, config.k, config.seed_w)
     grid = ProcessGrid2D(config.nprocs)
     tracker = CommTracker(config.nprocs)
     comm = SimComm(config.nprocs, tracker)
@@ -254,10 +274,10 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
                       resolve_workers(config.workers)) as ex:
         table = count_kmers(reads, config.k, comm, timer,
                             batches=config.kmer_batches, upper=upper,
-                            executor=ex, impl=kmer_impl)
+                            executor=ex, impl=kmer_impl, scheme=scheme)
 
         A = build_a_matrix(reads, table, grid, comm, timer, executor=ex,
-                           impl=kmer_impl)
+                           impl=kmer_impl, scheme=scheme)
         nnz_a = A.nnz()
         # Read exchange is issued right after partitioning so it overlaps
         # with counting and SpGEMM (paper Section IV-D); accounting order is
@@ -297,7 +317,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         tr_rounds=tr.rounds, timer=timer, tracker=tracker,
         overlap_mode=overlap_mode, n_strips=n_strips,
         align_impl=align_impl, kmer_impl=kmer_impl,
-        spgemm_impl=spgemm_impl, R=R.to_global())
+        spgemm_impl=spgemm_impl, seed_mode=seed_mode, R=R.to_global())
 
 
 def run_pipeline_from_fasta(path, config: PipelineConfig | None = None

@@ -11,7 +11,10 @@ the simulator's ground truth:
 * :func:`genome_coverage` — fraction of the genome covered by contigs of a
   minimum read count;
 * :func:`misjoin_count` — contigs whose consecutive reads are *not*
-  overlapping on the genome (layout errors).
+  overlapping on the genome (layout errors);
+* :func:`pair_recall` — fraction of a reference pair set recovered by a
+  detected pair set (used to score sketched seeding modes against the
+  full-k oracle).
 """
 
 from __future__ import annotations
@@ -21,7 +24,25 @@ import numpy as np
 from ..core.contigs import Contig
 from ..seqs.simulator import TrueLayout
 
-__all__ = ["contig_spans", "n50", "genome_coverage", "misjoin_count"]
+__all__ = ["contig_spans", "n50", "genome_coverage", "misjoin_count",
+           "pair_recall"]
+
+
+def pair_recall(found: set[tuple[int, int]],
+                reference: set[tuple[int, int]]) -> float:
+    """Fraction of ``reference`` read pairs present in ``found``.
+
+    Pairs are unordered: both sets are normalized to ``(min, max)`` before
+    intersecting.  Returns ``nan`` for an empty reference.  With the true
+    layout's overlap pairs as the reference this is overlap recall; with the
+    full-k pipeline's pairs as the reference it measures what a sketched
+    seeding mode (minimizer/syncmer) loses relative to every-window seeding.
+    """
+    ref = {(min(a, b), max(a, b)) for a, b in reference}
+    if not ref:
+        return float("nan")
+    norm = {(min(a, b), max(a, b)) for a, b in found}
+    return len(norm & ref) / len(ref)
 
 
 def contig_spans(contigs: list[Contig], layout: TrueLayout

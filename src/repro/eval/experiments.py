@@ -37,7 +37,7 @@ __all__ = [
     "pipeline_for_preset", "table1_comm_costs", "table3_sparsity",
     "table4_datasets", "table6_tr_vs_sora", "fig4_strong_scaling",
     "fig5to8_breakdown", "fig9_1d_vs_2d", "minimap_comparison",
-    "accuracy_table",
+    "accuracy_table", "seed_mode_table",
 ]
 
 _CACHE: dict = {}
@@ -420,6 +420,59 @@ def accuracy_table(names: tuple[str, ...] = ("toy", "ecoli_like"),
             "dataset": preset.paper_name,
             "recall": recall,
             "precision": precision,
+            "contig_n50_bp": n50(spans),
+            "genome_coverage": genome_coverage(contigs, layout,
+                                               genome.shape[0]),
+            "misjoins": misjoin_count(contigs, layout),
+        })
+    return rows
+
+
+def seed_mode_table(name: str = "ecoli_like",
+                    modes: tuple[str, ...] = ("full", "minimizer", "syncmer"),
+                    seed_w: int = 8, min_overlap: int = 500,
+                    nprocs: int = 4) -> list[dict]:
+    """Sketched seeding modes scored against the full-k oracle.
+
+    Runs the pipeline once per seeding mode on the same reads and reports,
+    per mode: the seed matrix / candidate matrix sizes (nnz(A), nnz(C) —
+    the quantities sketching exists to shrink), recall of true overlaps
+    (overlap-graph pairs vs layout pairs >= ``min_overlap`` bp), recall of
+    the *full-k* mode's correctly-detected true overlaps (what sketching
+    loses relative to every-window seeding, scored on the pairs that
+    matter — full-k also finds shallow sub-``min_overlap`` pairs whose
+    loss is the point of sketching), and the downstream layout quality
+    (contig N50, genome coverage, misjoins).  ``modes`` must start with
+    ``"full"`` so the oracle row exists before the sketched rows
+    reference it.
+    """
+    from ..core.contigs import extract_contigs
+    from .assembly_metrics import (contig_spans, genome_coverage,
+                                   misjoin_count, n50, pair_recall)
+
+    preset, genome, _reads, layout = _dataset(name)
+    truth = layout.overlap_pairs(min_overlap)
+    rows: list[dict] = []
+    full_true: set[tuple[int, int]] = set()
+    for mode in modes:
+        res, _ = pipeline_for_preset(name, nprocs, seed_mode=mode,
+                                     seed_w=seed_w)
+        R = res.R
+        pairs = {(min(a, b), max(a, b))
+                 for a, b in zip(R.row.tolist(), R.col.tolist())}
+        if mode == "full":
+            full_true = pairs & {(min(a, b), max(a, b)) for a, b in truth}
+        contigs = extract_contigs(res.string_graph)
+        spans = [hi - lo for lo, hi in contig_spans(contigs, layout)]
+        rows.append({
+            "dataset": preset.paper_name,
+            "seed_mode": mode,
+            "seed_w": seed_w if mode != "full" else "-",
+            "nnz_a": res.nnz_a,
+            "nnz_c": res.nnz_c,
+            "recall_truth": pair_recall(pairs, truth),
+            "recall_vs_full": (pair_recall(pairs, full_true)
+                               if full_true else float("nan")),
             "contig_n50_bp": n50(spans),
             "genome_coverage": genome_coverage(contigs, layout,
                                                genome.shape[0]),

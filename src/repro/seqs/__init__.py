@@ -8,7 +8,9 @@ from .kmers import (MAX_K, canonical_kmers, kmer_to_string, pack_kmers,
 from .bloom import BloomFilter
 from .fasta import ReadSet, chunked_read_ranges, read_fasta, write_fasta
 from .simulator import ErrorModel, ReadSimSpec, TrueLayout, simulate_reads
-from .minimizers import minimizers
+from .minimizers import minimizers, minimizers_batch
+from .seeding import (SEED_MODES, FullKScheme, MinimizerScheme, SeedScheme,
+                      SyncmerScheme, make_scheme, resolve_seed_mode)
 from .kmer_counter import KmerTable, count_kmers, reliable_upper_bound
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "BloomFilter",
     "ReadSet", "chunked_read_ranges", "read_fasta", "write_fasta",
     "ErrorModel", "ReadSimSpec", "TrueLayout", "simulate_reads",
-    "minimizers",
+    "minimizers", "minimizers_batch",
+    "SEED_MODES", "SeedScheme", "FullKScheme", "MinimizerScheme",
+    "SyncmerScheme", "make_scheme", "resolve_seed_mode",
     "KmerTable", "count_kmers", "reliable_upper_bound",
 ]

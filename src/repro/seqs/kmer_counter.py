@@ -48,7 +48,8 @@ from ..mpisim.grid import block_bounds
 from ..mpisim.tracker import StageTimer
 from .bloom import BloomFilter
 from .fasta import ReadSet
-from .kmers import read_kmers, read_kmers_batch, splitmix64
+from .kmers import splitmix64
+from .seeding import FullKScheme, SeedScheme
 
 __all__ = ["KmerTable", "reliable_upper_bound", "count_kmers",
            "KMER_IMPLS", "KMER_IMPL_ENV", "DEFAULT_KMER_IMPL",
@@ -91,23 +92,24 @@ def resolve_kmer_impl(impl: str | None = None) -> str:
 # -- executor tasks (module-level so the process pool can pickle them) ------
 
 def _extract_task(ctx, owned_idx):
-    """One rank's k-mer extraction over its block of reads (loop engine)."""
-    reads, k = ctx
-    parts = [read_kmers(reads[int(i)], k)[0] for i in owned_idx]
+    """One rank's seed extraction over its block of reads (loop engine)."""
+    reads, scheme = ctx
+    parts = [scheme.seeds_of_read(reads[int(i)])[0] for i in owned_idx]
     return np.concatenate(parts) if parts else np.empty(0, np.uint64)
 
 
 def _extract_batch_task(ctx, task):
-    """One rank's k-mer extraction as a single SoA sweep (batch engine).
+    """One rank's seed extraction as a single SoA sweep (batch engine).
 
     The task carries the rank's own ``(codes, offsets, lengths)`` block
     (:meth:`~repro.seqs.fasta.ReadSet.soa_block`), so a process pool ships
     each worker only its reads' bases.  Output order (read-major, window
-    order within a read) matches the loop engine's concatenation exactly.
+    order within a read) matches the loop engine's concatenation exactly
+    for every :class:`~repro.seqs.seeding.SeedScheme`.
     """
-    k = ctx
+    scheme = ctx
     codes, offsets, lengths = task
-    return read_kmers_batch(codes, offsets, lengths, k)[0]
+    return scheme.seeds_of_block(codes, offsets, lengths)[0]
 
 
 def _pass1_task(ctx, task):
@@ -225,9 +227,10 @@ def _merge_admitted(keys: np.ndarray, counts: np.ndarray,
     return cand, np.zeros(cand.shape[0], dtype=np.int64)
 
 
-def kmer_histogram(reads: ReadSet, k: int
+def kmer_histogram(reads: ReadSet, k: int,
+                   scheme: SeedScheme | None = None
                    ) -> tuple[np.ndarray, np.ndarray]:
-    """Exact global ``(keys, counts)`` histogram of canonical k-mers.
+    """Exact global ``(keys, counts)`` histogram of canonical seed k-mers.
 
     One vectorized sweep over the whole read set; keys come back sorted
     ascending.  This is the *mergeable* form of the counting state the
@@ -235,9 +238,13 @@ def kmer_histogram(reads: ReadSet, k: int
     two-pass tables (whose admission decisions depend on how occurrences
     were batched), exact histograms of two read batches combine losslessly
     with :func:`merge_histograms`, and the reliable table is a pure filter
-    of the merged histogram (:func:`table_from_histogram`).
+    of the merged histogram (:func:`table_from_histogram`).  Both
+    properties hold for any :class:`~repro.seqs.seeding.SeedScheme` —
+    schemes are pure per-read functions, so the seed multiset of a batch
+    union is the union of the batches' seed multisets.
     """
-    canon = read_kmers_batch(*reads.soa(), k)[0]
+    scheme = scheme if scheme is not None else FullKScheme(k)
+    canon = scheme.seeds_of_block(*reads.soa())[0]
     if canon.size == 0:
         return np.empty(0, np.uint64), np.empty(0, np.int64)
     keys, counts = np.unique(canon, return_counts=True)
@@ -341,7 +348,8 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
                 batches: int = 1, bloom_fp: float = 0.01,
                 lower: int = 2, upper: int = 8,
                 executor: Executor | None = None,
-                impl: str | None = None) -> KmerTable:
+                impl: str | None = None,
+                scheme: SeedScheme | None = None) -> KmerTable:
     """Distributed two-pass k-mer counting.
 
     Parameters
@@ -370,6 +378,11 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
         K-mer engine (:func:`resolve_kmer_impl`): ``"batch"`` extracts and
         counts through sorted structure-of-arrays tables, ``"loop"`` keeps
         the per-read / per-key dict reference.  Byte-identical output.
+    scheme:
+        :class:`~repro.seqs.seeding.SeedScheme` choosing which windows of
+        each read are counted; ``None`` keeps the full-k default (every
+        window — the paper's behavior, byte-identical to the historical
+        hardwired path).
 
     Returns
     -------
@@ -380,20 +393,21 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
     timer = timer if timer is not None else StageTimer()
     executor = executor if executor is not None else SERIAL
     impl = resolve_kmer_impl(impl)
+    scheme = scheme if scheme is not None else FullKScheme(k)
     bounds = block_bounds(len(reads), P)
 
-    # Extract (canonical) k-mers per rank once; reused by both passes.
+    # Extract (canonical) seed k-mers per rank once; reused by both passes.
     with timer.superstep(STAGE) as step:
         if impl == "batch":
             tasks = [reads.soa_block(int(bounds[p]), int(bounds[p + 1]))
                      for p in range(P)]
             rank_kmers, secs = executor.run_timed(
-                _extract_batch_task, tasks, context=k,
+                _extract_batch_task, tasks, context=scheme,
                 weights=[blk[0].shape[0] for blk in tasks])
         else:
             owned = _partition_reads(reads, P)
             rank_kmers, secs = executor.run_timed(
-                _extract_task, owned, context=(reads, k),
+                _extract_task, owned, context=(reads, scheme),
                 weights=[idx.shape[0] for idx in owned])
         step.charge_many(range(P), secs)
 

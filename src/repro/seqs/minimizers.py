@@ -1,22 +1,30 @@
-"""(w, k)-minimizer extraction for the minimap-like baseline.
+"""(w, k)-minimizer extraction — shared by the seeding layer and baseline.
 
 minimap2 (Li 2018) indexes reads by minimizers — the smallest (by a hash
 order) k-mer in every window of ``w`` consecutive k-mers — and estimates
 pairwise similarity from shared minimizers without base-level alignment.
 The paper compares diBELLA 2D against minimap2 on a single node
-(Section VII-B); :mod:`repro.baselines.minimap_like` builds on this module.
+(Section VII-B).  Two consumers build on this module and must not drift:
+:mod:`repro.baselines.minimap_like` and the pipeline's
+:class:`~repro.seqs.seeding.MinimizerScheme` seed mode.
 
-Extraction is numpy-vectorized with a sliding-window argmin over the hashed
-canonical k-mer sequence.
+:func:`minimizers` extracts one read with a sliding-window argmin over the
+hashed canonical k-mer sequence; :func:`minimizers_batch` is its exact
+whole-block SoA counterpart (mirroring
+:func:`~repro.seqs.kmers.read_kmers_batch`'s column-op style): one sliding
+argmin over the concatenated hash stream with per-read window masking, and
+a vectorized segment-argmin for reads with fewer than ``w`` windows.  The
+batched output equals concatenating the per-read extractor over the block
+— pinned by the parity suite.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .kmers import pack_kmers, canonical_kmers, splitmix64
+from .kmers import pack_kmers, canonical_kmers, read_kmers_batch, splitmix64
 
-__all__ = ["minimizers"]
+__all__ = ["minimizers", "minimizers_batch"]
 
 
 def minimizers(codes: np.ndarray, k: int, w: int) -> tuple[np.ndarray, np.ndarray]:
@@ -53,3 +61,63 @@ def minimizers(codes: np.ndarray, k: int, w: int) -> tuple[np.ndarray, np.ndarra
     arg = windows.argmin(axis=1) + np.arange(windows.shape[0], dtype=np.int64)
     pos = np.unique(arg)
     return can[pos], pos
+
+
+def minimizers_batch(codes: np.ndarray, offsets: np.ndarray,
+                     lengths: np.ndarray, k: int, w: int
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+    """(w, k)-minimizers of *many* reads in one vectorized pass.
+
+    The reads live in one shared SoA buffer (the layout of
+    :meth:`repro.seqs.fasta.ReadSet.soa`).  Values are exactly those of
+    calling :func:`minimizers` per read and concatenating, in the same
+    read-major ascending-position order — plus the per-seed ``flip``
+    orientation bit the pipeline's A matrix needs.
+
+    Returns
+    -------
+    (kmers, read_idx, pos, flip):
+        Canonical ``uint64`` minimizer k-mers, the index into
+        ``offsets``/``lengths`` of each minimizer's read, its window start
+        position within the read, and whether the canonical form is the
+        reverse complement (the shape of
+        :func:`~repro.seqs.kmers.read_kmers_batch`).
+    """
+    if w < 1:
+        raise ValueError("w must be >= 1")
+    canon, ridx, pos, flip = read_kmers_batch(codes, offsets, lengths, k)
+    total = canon.shape[0]
+    if total == 0:
+        return canon, ridx, pos, flip
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n_win = np.maximum(lengths - (k - 1), 0)
+    starts = np.zeros(n_win.shape[0] + 1, dtype=np.int64)
+    np.cumsum(n_win, out=starts[1:])
+    order = splitmix64(canon)
+    keep = np.zeros(total, dtype=bool)
+    if total >= w:
+        # One sliding argmin over the concatenated hash stream.  A window
+        # start g belongs to the read whose slot range contains it; it is a
+        # real w-window of that read only when it also *ends* inside the
+        # read — windows straddling a boundary are masked out.
+        win = np.lib.stride_tricks.sliding_window_view(order, w)
+        arg = win.argmin(axis=1) + np.arange(win.shape[0], dtype=np.int64)
+        g = np.arange(win.shape[0], dtype=np.int64)
+        gr = np.searchsorted(starts, g, side="right") - 1
+        keep[arg[g + w <= starts[gr + 1]]] = True
+        small = (n_win >= 1) & (n_win < w)
+    else:
+        small = n_win >= 1
+    if small.any():
+        # Reads with fewer than w windows contribute their single global
+        # minimum (the per-read extractor's short-read branch): a segment
+        # min per read, then the first position attaining it — np.argmin's
+        # first-tie rule, vectorized.
+        sel = small[ridx]
+        seg_min = np.full(n_win.shape[0], np.uint64(0xFFFFFFFFFFFFFFFF),
+                          dtype=np.uint64)
+        np.minimum.at(seg_min, ridx[sel], order[sel])
+        cand = np.flatnonzero(sel & (order == seg_min[ridx]))
+        keep[cand[np.unique(ridx[cand], return_index=True)[1]]] = True
+    return canon[keep], ridx[keep], pos[keep], flip[keep]

@@ -88,7 +88,8 @@ from ..mpisim.tracker import CommTracker, StageTimer
 from ..seqs.fasta import ReadSet
 from ..seqs.kmer_counter import (kmer_histogram, merge_histograms,
                                  reliable_upper_bound, table_from_histogram)
-from ..seqs.kmers import read_kmers_batch, splitmix64
+from ..seqs.kmers import splitmix64
+from ..seqs.seeding import FullKScheme, SeedScheme, make_scheme
 from .config import ServiceConfig, resolve_refresh_mode
 from .state import AssemblyState
 
@@ -101,20 +102,29 @@ def _resolved_upper(pcfg: PipelineConfig) -> int:
     return reliable_upper_bound(pcfg.depth_hint, pcfg.error_hint, pcfg.k)
 
 
-def batch_occurrences(reads: ReadSet, k: int, row_offset: int = 0
+def _scheme_of(pcfg: PipelineConfig) -> SeedScheme:
+    """The seeding scheme a pipeline config resolves to."""
+    return make_scheme(pcfg.seed_mode, pcfg.k, pcfg.seed_w)
+
+
+def batch_occurrences(reads: ReadSet, k: int, row_offset: int = 0,
+                      scheme: SeedScheme | None = None
                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                  np.ndarray]:
     """First-window occurrence table of a read set, sorted by (key, read).
 
-    One ``(key, read, pos, flip)`` row per (read, distinct canonical
+    One ``(key, read, pos, flip)`` row per (read, distinct canonical seed
     k-mer), keeping the earliest window — the dedup rule of the A scan
     (:func:`~repro.core.overlap.build_a_matrix`), applied *before* any
     reliability filter.  Reliability is a property of the k-mer value, so
     filtering the deduped table through a reliable set later yields
     exactly the A entries that scan would emit.  ``row_offset`` shifts
-    read indices into the combined set's coordinates.
+    read indices into the combined set's coordinates.  The splice logic is
+    scheme-agnostic: a sketched scheme just feeds fewer ``(key, read,
+    pos, flip)`` rows through the same sort/dedup.
     """
-    canon, ridx, pos, flip = read_kmers_batch(*reads.soa(), k)
+    scheme = scheme if scheme is not None else FullKScheme(k)
+    canon, ridx, pos, flip = scheme.seeds_of_block(*reads.soa())
     if canon.size == 0:
         return (np.empty(0, np.uint64), np.empty(0, np.int64),
                 np.empty(0, np.int64), np.empty(0, np.int64))
@@ -202,19 +212,21 @@ def _affected_pairs(arow, acol, state: AssemblyState, table, n: int,
     return np.unique(np.concatenate(parts))
 
 
-def _route_census(reads: ReadSet, k: int, P: int) -> np.ndarray:
-    """``(n_reads, P)`` counts of each read's k-mer windows per hash owner.
+def _route_census(reads: ReadSet, k: int, P: int,
+                  scheme: SeedScheme | None = None) -> np.ndarray:
+    """``(n_reads, P)`` counts of each read's seed k-mers per hash owner.
 
     Row ``r`` is a pure function of read ``r``'s bases (owner =
-    ``splitmix64(canonical window) mod P``), so censuses concatenate
-    across batches and a version's census is its predecessor's rows plus
-    the batch's.
+    ``splitmix64(canonical seed) mod P``; schemes are per-read pure), so
+    censuses concatenate across batches and a version's census is its
+    predecessor's rows plus the batch's.
     """
+    scheme = scheme if scheme is not None else FullKScheme(k)
     n = len(reads)
     census = np.zeros((n, P), np.int64)
     if n == 0:
         return census
-    canon, ridx, _pos, _flip = read_kmers_batch(*reads.soa(), k)
+    canon, ridx, _pos, _flip = scheme.seeds_of_block(*reads.soa())
     if canon.size:
         dst = (splitmix64(canon) % np.uint64(P)).astype(np.int64)
         census = np.bincount(ridx.astype(np.int64) * np.int64(P) + dst,
@@ -223,21 +235,24 @@ def _route_census(reads: ReadSet, k: int, P: int) -> np.ndarray:
 
 
 def _replay_count_kmers(reads: ReadSet, route_counts: np.ndarray, table,
-                        comm: SimComm, batches: int) -> None:
+                        comm: SimComm, batches: int,
+                        scheme: SeedScheme | None = None) -> None:
     """Re-issue ``CountKmer``'s exact traffic from the routing census.
 
-    Both counting passes ship the same per-rank k-mer streams (uint64
+    Both counting passes ship the same per-rank seed streams (uint64
     keys) in the same ``batches`` round slices to the same hash owners,
     and the collective charges depend only on the per-destination payload
     *sizes* — which the census yields by prefix sums over each rank's
     read block.  A round boundary that falls mid-read needs that one
     read's within-read destination sequence, so only boundary reads (at
-    most ``batches - 1`` per rank) ever get their k-mers re-extracted.
-    The final reliable-dictionary allgather ships each owner's reliable
-    keys (owner = ``splitmix64(key) mod P``).
+    most ``batches - 1`` per rank) ever get their seeds re-extracted —
+    through the same ``scheme`` the census was built with, so the prefix
+    slices land on the same keys.  The final reliable-dictionary
+    allgather ships each owner's reliable keys (owner =
+    ``splitmix64(key) mod P``).
     """
+    scheme = scheme if scheme is not None else FullKScheme(table.k)
     P = comm.nprocs
-    k = table.k
     bounds = block_bounds(len(reads), P)
     per_rank: list[list[np.ndarray]] = []
     for p in range(P):
@@ -260,9 +275,9 @@ def _replay_count_kmers(reads: ReadSet, route_counts: np.ndarray, table,
             within = x - int(cum[i])
             if within == 0:
                 res = cumdst[i]
-            else:  # boundary splits read blo + i: count its window prefix
-                canon = read_kmers_batch(
-                    *reads.soa_block(blo + i, blo + i + 1), k)[0]
+            else:  # boundary splits read blo + i: count its seed prefix
+                canon = scheme.seeds_of_block(
+                    *reads.soa_block(blo + i, blo + i + 1))[0]
                 dst = (splitmix64(canon[:within]) %
                        np.uint64(P)).astype(np.int64)
                 res = cumdst[i] + np.bincount(dst, minlength=P)
@@ -306,10 +321,11 @@ def _recompute(state: AssemblyState, batch: ReadSet, pcfg: PipelineConfig
         return _bumped_empty(state, "recompute")
     result = run_pipeline(combined, pcfg)
     k = pcfg.k
-    hist_keys, hist_counts = kmer_histogram(combined, k)
+    scheme = _scheme_of(pcfg)
+    hist_keys, hist_counts = kmer_histogram(combined, k, scheme=scheme)
     table = table_from_histogram(hist_keys, hist_counts, k, lower=2,
                                  upper=_resolved_upper(pcfg))
-    occ = batch_occurrences(combined, k)
+    occ = batch_occurrences(combined, k, scheme=scheme)
     arow, acol, _apos, _aflip = _a_entries(*occ, table)
     c_pack = _pair_product(arow, acol, arow, acol, n, len(table))
     graph = result.string_graph
@@ -320,17 +336,19 @@ def _recompute(state: AssemblyState, batch: ReadSet, pcfg: PipelineConfig
         R=result.R, S=result.S, graph=graph,
         contigs=extract_contigs(graph),
         c_ri=c_pack // np.int64(n), c_rj=c_pack % np.int64(n),
-        route_counts=_route_census(combined, k, pcfg.nprocs),
+        route_counts=_route_census(combined, k, pcfg.nprocs,
+                                   scheme=scheme),
         counts=_counts(n, result.n_kmers, result.nnz_a, result.nnz_c,
                        result.nnz_r, result.nnz_s, result.tr_rounds),
         tracker=result.tracker, timer=result.timer,
-        refresh_mode="recompute")
+        refresh_mode="recompute", scheme_id=scheme.scheme_id)
 
 
 def _incremental(state: AssemblyState, batch: ReadSet,
                  pcfg: PipelineConfig) -> AssemblyState:
     """Delta refresh of a non-empty state (see the module docstring)."""
     k = pcfg.k
+    scheme = _scheme_of(pcfg)
     n_old = len(state.reads)
     combined = state.reads.concat(batch)
     n = len(combined)
@@ -345,12 +363,13 @@ def _incremental(state: AssemblyState, batch: ReadSet,
     timer = StageTimer()
 
     # Counting state: histogram merge, reliable filter, occurrence splice.
-    bk, bc = kmer_histogram(batch, k)
+    bk, bc = kmer_histogram(batch, k, scheme=scheme)
     hist_keys, hist_counts = merge_histograms(state.hist_keys,
                                               state.hist_counts, bk, bc)
     table = table_from_histogram(hist_keys, hist_counts, k, lower=2,
                                  upper=_resolved_upper(pcfg))
-    nk, nr, npos, nflip = batch_occurrences(batch, k, row_offset=n_old)
+    nk, nr, npos, nflip = batch_occurrences(batch, k, row_offset=n_old,
+                                            scheme=scheme)
     at = np.searchsorted(state.occ_key, nk, side="right")
     occ_key = np.insert(state.occ_key, at, nk)
     occ_read = np.insert(state.occ_read, at, nr)
@@ -364,9 +383,10 @@ def _incremental(state: AssemblyState, batch: ReadSet,
 
     if state.route_counts.shape == (n_old, P):
         route_counts = np.vstack([state.route_counts,
-                                  _route_census(batch, k, P)])
+                                  _route_census(batch, k, P,
+                                                scheme=scheme)])
     else:  # census missing or built for a different grid: rebuild once
-        route_counts = _route_census(combined, k, P)
+        route_counts = _route_census(combined, k, P, scheme=scheme)
 
     A_full = DistMat.from_coo((n, m), grid, arow, acol,
                               np.stack([apos, aflip], axis=1))
@@ -375,7 +395,7 @@ def _incremental(state: AssemblyState, batch: ReadSet,
     # Traffic replays for the stages the delta path skips (TrReduction runs
     # for real below and charges itself).
     _replay_count_kmers(combined, route_counts, table, comm,
-                        pcfg.kmer_batches)
+                        pcfg.kmer_batches, scheme=scheme)
     charge_a_routing(arow, acol, n, m, grid, comm)
     exchange_reads(combined, grid, comm)
     summa_comm_replay(A_full, At, comm, "SpGEMM")
@@ -442,7 +462,8 @@ def _incremental(state: AssemblyState, batch: ReadSet,
         route_counts=route_counts,
         counts=_counts(n, m, arow.shape[0], c_pack.shape[0],
                        R_global.nnz, S_global.nnz, tr.rounds),
-        tracker=tracker, timer=timer, refresh_mode="incremental")
+        tracker=tracker, timer=timer, refresh_mode="incremental",
+        scheme_id=scheme.scheme_id)
 
 
 def refresh(state: AssemblyState, batch: ReadSet,
@@ -457,6 +478,13 @@ def refresh(state: AssemblyState, batch: ReadSet,
     mode strip-mines a batch-sized product that the incremental engine
     never forms.  An empty initial state always bootstraps through the
     scratch run (there is nothing to be incremental against).
+
+    Cross-scheme deltas are refused: the state's cached histogram,
+    occurrence table, and routing census are seed streams of the scheme
+    tagged in ``state.scheme_id``, so an incremental refresh under a
+    different ``seed_mode``/``seed_w`` raises ``ValueError`` instead of
+    splicing incompatible state.  A ``recompute`` refresh rebuilds from
+    scratch under the new scheme and re-tags the state.
     """
     config = config if config is not None else ServiceConfig()
     mode = resolve_refresh_mode(mode if mode is not None
@@ -468,5 +496,12 @@ def refresh(state: AssemblyState, batch: ReadSet,
     elif mode == "recompute" or len(state.reads) == 0:
         new = _recompute(state, batch, pcfg)
     else:
+        scheme_id = _scheme_of(pcfg).scheme_id
+        if state.scheme_id and state.scheme_id != scheme_id:
+            raise ValueError(
+                f"cross-scheme delta refused: state v{state.version} was "
+                f"built with seeding scheme {state.scheme_id!r} but the "
+                f"config resolves to {scheme_id!r}; refresh with "
+                f"mode='recompute' to rebuild under the new scheme")
         new = _incremental(state, batch, pcfg)
     return replace(new, refresh_seconds=time.perf_counter() - t0)

@@ -110,6 +110,7 @@ class AssemblyService:
             return {"version": state.version, "counts": state.counts,
                     "refresh_mode": state.refresh_mode,
                     "refresh_seconds": state.refresh_seconds,
+                    "scheme": state.scheme_id,
                     "comm": comm}
         result = dict(self._cached("stats", {}, compute))
         # Cache counters ride on top uncached (they change on every query).
@@ -169,6 +170,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             self._reply(self.service.ingest(names, seqs))
+        except ValueError as exc:
+            # Refused ingests (e.g. a cross-scheme delta against the
+            # session's seeding scheme) are a client-state conflict, not a
+            # server fault.
+            self._reply({"error": str(exc)}, 409)
         except Exception as exc:  # pragma: no cover - defensive
             self._reply({"error": str(exc)}, 500)
 

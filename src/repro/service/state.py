@@ -63,6 +63,12 @@ class AssemblyState:
       read's row never changes, so the census grows by appending the
       batch's rows, and the CountKmer traffic replay becomes prefix-sum
       arithmetic instead of re-extracting every old read's k-mers.
+    * ``scheme_id`` — the seeding scheme
+      (:attr:`repro.seqs.seeding.SeedScheme.scheme_id`) every cached
+      intermediate was extracted under.  Histogram, occurrence table, and
+      census are all seed streams of that scheme, so a delta refresh under
+      a *different* scheme would splice incompatible state — the refresh
+      engine refuses cross-scheme deltas (recompute rebuilds and re-tags).
     """
 
     version: int
@@ -86,6 +92,7 @@ class AssemblyState:
     timer: StageTimer | None
     refresh_mode: str
     refresh_seconds: float = 0.0
+    scheme_id: str = ""
 
     @classmethod
     def initial(cls) -> "AssemblyState":

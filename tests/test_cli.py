@@ -98,6 +98,8 @@ def test_parser_defaults_match_pipeline_config():
         assert args.overlap_mode == cfg.overlap_mode
         assert args.n_strips == cfg.n_strips
         assert args.memory_budget == cfg.memory_budget
+        assert args.seed_mode == cfg.seed_mode
+        assert args.seed_w == cfg.seed_w
 
 
 def test_stats_prints_kmer_engine(tmp_path, capsys):
@@ -154,3 +156,5 @@ def test_serve_parser_defaults_match_config():
     assert args.backend == cfg.backend
     assert args.workers == cfg.workers
     assert args.executor == cfg.executor
+    assert args.seed_mode == cfg.seed_mode
+    assert args.seed_w == cfg.seed_w
