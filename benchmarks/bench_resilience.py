@@ -1,0 +1,149 @@
+"""Fault-tolerance overhead and recovery cost.
+
+The resilience layer (PR 9) must be free when unused: with no fault plan
+armed, every injection hook is a single module-global ``is None`` test,
+and the executors' recovery bookkeeping never runs.  This bench measures
+exactly that — the same pipeline run three ways:
+
+* **off** — no plan armed (the production fault-free path);
+* **armed** — a plan armed whose clauses never fire (hooks pay the full
+  counter-advance cost on every check);
+* **faulted** — a plan that kills chunks and blocks mid-run, exercising
+  chunk retry and pool respawn end to end.
+
+Gates (medians over ``ROUNDS`` alternating rounds, fixed seeds):
+
+* armed-but-silent overhead stays under ``MAX_OVERHEAD`` (1.05 = the
+  <5 % acceptance bar; ``REPRO_BENCH_MAX_RESILIENCE_OVERHEAD`` overrides,
+  0 records without gating);
+* the faulted run's output digests equal the fault-free run's — recovery
+  never trades correctness for availability.
+
+Results land in ``BENCH_resilience.json`` at the repo root.
+"""
+
+import hashlib
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.eval.report import format_table
+from repro.seqs import ErrorModel, GenomeSpec, ReadSimSpec, simulate_reads
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_resilience.json"
+
+GENOME_LENGTH = 60_000
+DEPTH = 10
+MEAN_LEN = 1_200
+K = 17
+NPROCS = 4
+WORKERS = 3
+ROUNDS = 5
+
+#: Armed-but-silent plan: real sites, counts the run never reaches.
+SILENT_SPEC = "exec.chunk:exc@1000000;summa.block:exc@1000000"
+#: Recovery workout: a worker exception and a crash on the chunk site plus
+#: a block-product exception, all early enough to actually fire.
+FAULT_SPEC = "exec.chunk:exc@2;exec.chunk:crash@5;summa.block:exc@3"
+
+#: <5 % fault-free overhead — the PR's acceptance bar.
+MAX_OVERHEAD = 1.05
+
+VARIANTS = ("off", "armed", "faulted")
+SPECS = {"off": "", "armed": SILENT_SPEC, "faulted": FAULT_SPEC}
+
+
+def _dataset():
+    _genome, reads, _layout = simulate_reads(
+        ReadSimSpec(GenomeSpec(length=GENOME_LENGTH, seed=17), depth=DEPTH,
+                    mean_len=MEAN_LEN, min_len=600, sigma_len=0.2,
+                    error=ErrorModel(rate=0.02), seed=18))
+    reads.soa()
+    return reads
+
+
+def _sha(*arrays) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _run(reads, spec):
+    cfg = PipelineConfig(k=K, nprocs=NPROCS, align_mode="chain",
+                         depth_hint=DEPTH, error_hint=0.02,
+                         executor="thread", workers=WORKERS,
+                         fault_plan=spec)
+    t0 = time.perf_counter()
+    res = run_pipeline(reads, cfg)
+    wall = time.perf_counter() - t0
+    return wall, {"S": _sha(res.S.row, res.S.col, res.S.vals),
+                  "R": _sha(res.R.row, res.R.col, res.R.vals),
+                  "counts": (res.nnz_a, res.nnz_c, res.nnz_r, res.nnz_s)}
+
+
+def test_resilience_overhead(benchmark):
+    reads = _dataset()
+
+    def run():
+        # Alternate variants within each round so drift (cache warmth,
+        # frequency scaling) hits all three equally.
+        times = {v: [] for v in VARIANTS}
+        digests = {}
+        for _ in range(ROUNDS):
+            for variant in VARIANTS:
+                wall, dig = _run(reads, SPECS[variant])
+                times[variant].append(wall)
+                digests[variant] = dig
+        return times, digests
+
+    times, digests = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    med = {v: statistics.median(times[v]) for v in VARIANTS}
+    overhead = med["armed"] / med["off"]
+    recovery_cost = med["faulted"] / med["off"]
+
+    rows = [{"variant": v, "spec": SPECS[v] or "(none)",
+             "median s": f"{med[v]:.3f}",
+             "vs off": f"{med[v] / med['off']:.3f}x"} for v in VARIANTS]
+    print()
+    print(format_table(rows, title=(
+        f"Resilience overhead ({len(reads)} reads, thread x{WORKERS}, "
+        f"{ROUNDS} rounds)")))
+    print(f"armed-but-silent overhead {overhead:.3f}x, "
+          f"recovery cost {recovery_cost:.3f}x")
+
+    record = {
+        "bench": "resilience",
+        "dataset": {"genome_length": GENOME_LENGTH, "depth": DEPTH,
+                    "mean_len": MEAN_LEN, "n_reads": len(reads), "k": K,
+                    "nprocs": NPROCS, "workers": WORKERS,
+                    "rounds": ROUNDS},
+        "specs": SPECS,
+        "median_seconds": {v: round(med[v], 4) for v in VARIANTS},
+        "armed_overhead": round(overhead, 4),
+        "recovery_cost": round(recovery_cost, 4),
+        "faulted_matches_off": digests["faulted"] == digests["off"],
+    }
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {JSON_PATH.name}")
+
+    # Correctness is never gated off: recovery must be byte-identical.
+    assert digests["armed"] == digests["off"]
+    assert digests["faulted"] == digests["off"], (
+        "recovered run's output drifted from the fault-free run")
+
+    max_overhead = float(os.environ.get(
+        "REPRO_BENCH_MAX_RESILIENCE_OVERHEAD", str(MAX_OVERHEAD)))
+    if max_overhead > 0.0:
+        assert overhead <= max_overhead, (
+            f"armed-but-silent fault hooks cost {overhead:.3f}x "
+            f"(gate {max_overhead}x) on the fault-free path")

@@ -168,6 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(k-mers per minimizer window; syncmer submer "
                             "length is k - w + 1); ignored by --seed-mode "
                             "full")
+        p.add_argument("--fault-spec", dest="fault_plan",
+                       default=cfg.fault_plan, metavar="SPEC",
+                       help="deterministic fault injection spec, e.g. "
+                            "'exec.chunk:crash@3;summa.block:exc@2' "
+                            "(site:kind@counts clauses joined by ';'); "
+                            "the default honors REPRO_FAULT_SPEC, and '' "
+                            "pins the run fault-free — either way output "
+                            "is byte-identical to a fault-free run")
+        p.add_argument("--checkpoint-dir", default=cfg.checkpoint_dir,
+                       metavar="DIR",
+                       help="crash-safe per-strip checkpoint directory for "
+                            "--overlap-mode blocked: completed strips "
+                            "persist there, and re-running a killed "
+                            "command with the same DIR resumes at the "
+                            "last completed strip (default: honors "
+                            "REPRO_CHECKPOINT_DIR, else off)")
 
     asm = sub.add_parser("assemble", help="run the pipeline, write contigs")
     add_pipeline_args(asm)
@@ -223,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--workers", type=int, default=cfg.workers)
     srv.add_argument("--executor", choices=available_executors(),
                      default=cfg.executor)
+    srv.add_argument("--fault-spec", dest="fault_plan",
+                     default=cfg.fault_plan, metavar="SPEC",
+                     help="persistent fault-injection plan for the service "
+                          "(counters span ingests, so 'service.refresh:"
+                          "exc@3' fails exactly the third ingest); failed "
+                          "refreshes commit nothing and return 503")
     return parser
 
 
@@ -254,7 +276,9 @@ def _run(args):
                          overlap_mode=args.overlap_mode,
                          n_strips=args.n_strips,
                          memory_budget=args.memory_budget,
-                         seed_mode=args.seed_mode, seed_w=args.seed_w)
+                         seed_mode=args.seed_mode, seed_w=args.seed_w,
+                         fault_plan=args.fault_plan,
+                         checkpoint_dir=args.checkpoint_dir)
     return run_pipeline_from_fasta(args.reads, cfg)
 
 
@@ -330,7 +354,8 @@ def _cmd_serve(args) -> int:
                           seed_mode=args.seed_mode, seed_w=args.seed_w)
     service = AssemblyService(ServiceConfig(
         host=args.host, port=args.port, refresh_mode=args.refresh_mode,
-        cache_entries=args.cache_entries, pipeline=pcfg))
+        cache_entries=args.cache_entries, pipeline=pcfg),
+        fault_spec=args.fault_plan)
     if args.initial is not None:
         reads = read_fasta(args.initial)
         summary = service.ingest(reads.names,

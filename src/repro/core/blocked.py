@@ -23,6 +23,7 @@ peak-memory marks byte-identical for every executor and worker count.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +37,8 @@ from ..exec import Executor, SERIAL
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import block_bounds
 from ..mpisim.tracker import CommTracker, StageTimer
+from ..resilience.checkpoint import StripCheckpoint
+from ..resilience.faults import maybe_fault
 from ..seqs.fasta import ReadSet
 from .memory import coo_nbytes
 from .overlap import AlignmentFilter, align_candidates, summa_positions
@@ -121,6 +124,28 @@ def _strip_task(ctx, task):
     return coo, strip_nnz, timer, tracker
 
 
+def _strip_fingerprint(A: DistMat, reads: ReadSet, k: int, nprocs: int,
+                       mode: str, scoring, filt, fuzz: int,
+                       align_impl: str, spgemm_impl: str,
+                       spans: list[tuple[int, int]]) -> str:
+    """SHA-256 over everything a strip's result depends on.
+
+    Stored in the checkpoint manifest so a resume against a directory
+    written by a different input set / parameterization / strip layout is
+    refused instead of silently merged.
+    """
+    h = hashlib.sha256()
+    g = A.to_global()
+    for arr in (g.row, g.col, g.vals):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    codes, _offsets, lengths = reads.soa()
+    h.update(np.ascontiguousarray(codes).tobytes())
+    h.update(np.ascontiguousarray(lengths).tobytes())
+    h.update(repr((A.shape, A.grid.q, k, nprocs, mode, scoring, filt, fuzz,
+                   align_impl, spgemm_impl, spans)).encode())
+    return h.hexdigest()
+
+
 def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
                                comm: SimComm, n_strips: int,
                                timer: StageTimer | None = None, *,
@@ -131,7 +156,8 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
                                backend: Backend | str | None = None,
                                executor: Executor | None = None,
                                align_impl: str | None = None,
-                               spgemm_impl: str | None = None
+                               spgemm_impl: str | None = None,
+                               checkpoint_dir: str | None = None
                                ) -> BlockedOverlapResult:
     """Strip-mined ``C = A·Aᵀ`` with per-strip alignment and pruning.
 
@@ -144,6 +170,14 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
     spreads whole strips over workers — each strip's private accounting is
     merged back in strip order, so results, communication records, and
     peak-memory marks are byte-identical for every executor.
+
+    ``checkpoint_dir`` enables crash-safe strip checkpointing: each
+    completed strip's result is persisted atomically to that directory
+    (under a fingerprint-stamped manifest), and a re-invoked run with the
+    same directory skips the strips already on disk — resuming a killed
+    run at the last completed strip with byte-identical output.  A
+    directory written by a different configuration is refused
+    (:class:`~repro.resilience.checkpoint.CheckpointMismatch`).
     """
     timer = timer if timer is not None else StageTimer()
     executor = executor if executor is not None else SERIAL
@@ -167,9 +201,15 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
     # Weight by the strip's At entries — the SUMMA flops and downstream
     # candidate count scale with them, while block_bounds makes the column
     # widths near-uniform and thus balance-blind under skew.
-    results, _secs = executor.run_timed(
-        _strip_task, tasks, context=ctx,
-        weights=[max(1, strip.nnz()) for _lo, _hi, strip in tasks])
+    weights = [max(1, strip.nnz()) for _lo, _hi, strip in tasks]
+    if checkpoint_dir is None:
+        results, _secs = executor.run_timed(_strip_task, tasks, context=ctx,
+                                            weights=weights)
+    else:
+        results = _run_checkpointed(executor, tasks, ctx, weights,
+                                    checkpoint_dir, A, reads, k, comm.nprocs,
+                                    mode, scoring, filt, fuzz, align_impl,
+                                    spgemm_impl, spans)
 
     nnz_c = 0
     peak = 0
@@ -201,6 +241,41 @@ def candidate_overlaps_blocked(A: DistMat, reads: ReadSet, k: int,
     return BlockedOverlapResult(R=R, nnz_c=nnz_c, peak_strip_nnz=peak,
                                 n_strips=n_strips,
                                 peak_strip_bytes=peak_bytes)
+
+
+def _run_checkpointed(executor: Executor, tasks: list, ctx, weights,
+                      checkpoint_dir: str, A: DistMat, reads: ReadSet,
+                      k: int, nprocs: int, mode: str, scoring, filt,
+                      fuzz: int, align_impl: str, spgemm_impl: str,
+                      spans: list[tuple[int, int]]) -> list:
+    """Run strips with per-strip persistence, resuming completed ones.
+
+    Strips execute in waves of ``executor.workers`` so each result lands
+    on disk shortly after it completes (one big ``run_timed`` would hold
+    everything in memory until the last strip finished, leaving a killed
+    run with nothing to resume from).  Already-persisted strips are loaded
+    instead of recomputed; the returned list is in strip order either way,
+    so the caller's ordered merge — and thus R/S/tracker bytes — cannot
+    tell a resumed run from a straight-through one.
+    """
+    fingerprint = _strip_fingerprint(A, reads, k, nprocs, mode, scoring,
+                                     filt, fuzz, align_impl, spgemm_impl,
+                                     spans)
+    ckpt = StripCheckpoint(checkpoint_dir, fingerprint, len(tasks)).open()
+    pending = [i for i in range(len(tasks)) if not ckpt.has(i)]
+    wave_size = max(1, executor.workers)
+    for w in range(0, len(pending), wave_size):
+        wave = pending[w:w + wave_size]
+        wave_results, _secs = executor.run_timed(
+            _strip_task, [tasks[i] for i in wave], context=ctx,
+            weights=[weights[i] for i in wave])
+        for i, result in zip(wave, wave_results):
+            # Fires *before* the save: an injected crash here models dying
+            # mid-checkpoint — the strip is lost, the directory stays
+            # consistent, and a resume recomputes exactly this strip.
+            maybe_fault("strip.checkpoint")
+            ckpt.save(i, result)
+    return [ckpt.load(i) for i in range(len(tasks))]
 
 
 def _shift_columns(C: DistMat, offset: int, n_cols: int) -> DistMat:

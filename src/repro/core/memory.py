@@ -35,9 +35,11 @@ from .semirings import C_NFIELDS
 
 __all__ = [
     "OVERLAP_MODES", "OVERLAP_MODE_ENV", "DEFAULT_N_STRIPS",
+    "CHECKPOINT_DIR_ENV",
     "coo_nbytes", "estimate_candidate_nnz", "estimate_a_nnz",
     "StripPlan", "plan_strips",
     "parse_bytes", "format_bytes", "resolve_overlap_mode",
+    "resolve_checkpoint_dir",
 ]
 
 #: Overlap-path names accepted by ``PipelineConfig.overlap_mode`` (plus
@@ -50,6 +52,10 @@ OVERLAP_MODE_ENV = "REPRO_OVERLAP_MODE"
 #: Strip count used in blocked mode when neither ``n_strips`` nor a
 #: ``memory_budget`` is given.
 DEFAULT_N_STRIPS = 4
+
+#: Environment variable consulted when no explicit checkpoint directory is
+#: configured (mirrors :data:`OVERLAP_MODE_ENV`).
+CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
 
 
 def coo_nbytes(nnz: int, nfields: int) -> int:
@@ -201,3 +207,17 @@ def resolve_overlap_mode(mode: str | None = None) -> str:
         raise ValueError(f"unknown overlap mode {mode!r}; expected one of "
                          f"{', '.join(OVERLAP_MODES + ('auto',))}")
     return mode
+
+
+def resolve_checkpoint_dir(directory: str | None = None) -> str | None:
+    """Resolve the strip-checkpoint directory, if any.
+
+    An explicit ``directory`` wins; otherwise the
+    :data:`CHECKPOINT_DIR_ENV` environment variable is consulted, and
+    ``None`` (checkpointing off) is the default — strip checkpointing only
+    applies on the blocked overlap path.
+    """
+    if directory:
+        return str(directory)
+    env = os.environ.get(CHECKPOINT_DIR_ENV, "").strip()
+    return env or None

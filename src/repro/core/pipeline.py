@@ -31,12 +31,14 @@ from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D
 from ..mpisim.machine import MachineModel
 from ..mpisim.tracker import CommTracker, StageTimer
+from ..resilience.faults import (FaultPlan, active_plan, current_plan,
+                                 resolve_fault_plan)
 from ..seqs.fasta import ReadSet, read_fasta
 from ..seqs.kmer_counter import (count_kmers, reliable_upper_bound,
                                  resolve_kmer_impl)
 from ..seqs.seeding import DEFAULT_SEED_W, make_scheme, resolve_seed_mode
 from .blocked import candidate_overlaps_blocked
-from .memory import plan_strips, resolve_overlap_mode
+from .memory import plan_strips, resolve_checkpoint_dir, resolve_overlap_mode
 from .overlap import (AlignmentFilter, align_candidates, build_a_matrix,
                       candidate_overlaps, exchange_reads)
 from .string_graph import StringGraph
@@ -122,6 +124,18 @@ class PipelineConfig:
     ``*_impl`` axes this one intentionally changes output — but for a
     fixed mode it stays byte-identical across executors, engines, strip
     counts, and service batchings (schemes are pure per-read functions).
+
+    ``fault_plan`` arms deterministic fault injection for the run
+    (:class:`repro.resilience.FaultPlan` spec grammar, e.g.
+    ``"exec.chunk:crash@3;summa.block:exc@2"``); ``None`` defers to
+    ``REPRO_FAULT_SPEC`` when no plan is already armed, and an empty
+    string pins the run fault-free regardless of the environment.  The
+    recovery machinery re-runs only lost work, so every surviving run is
+    byte-identical to a fault-free one.  ``checkpoint_dir`` enables
+    crash-safe per-strip checkpointing on the blocked overlap path
+    (``None`` defers to ``REPRO_CHECKPOINT_DIR``): a killed run
+    re-invoked with the same directory resumes at the last completed
+    strip.
     """
 
     k: int = 17
@@ -146,6 +160,8 @@ class PipelineConfig:
     memory_budget: int | None = None
     seed_mode: str = "auto"
     seed_w: int = DEFAULT_SEED_W
+    fault_plan: str | None = None
+    checkpoint_dir: str | None = None
 
 
 @dataclass
@@ -259,6 +275,17 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     spgemm_impl = resolve_spgemm_impl(config.spgemm_impl)
     seed_mode = resolve_seed_mode(config.seed_mode)
     scheme = make_scheme(seed_mode, config.k, config.seed_w)
+    checkpoint_dir = resolve_checkpoint_dir(config.checkpoint_dir)
+    # Fault-plan precedence: an explicit config spec always arms a fresh
+    # plan ("" pins the run fault-free); otherwise an already-armed plan
+    # (e.g. the service's persistent cross-ingest plan) is left in place,
+    # and only then does REPRO_FAULT_SPEC get a say.
+    if config.fault_plan is not None:
+        plan = FaultPlan(config.fault_plan)
+    elif current_plan() is None:
+        plan = resolve_fault_plan(None)
+    else:
+        plan = None
     grid = ProcessGrid2D(config.nprocs)
     tracker = CommTracker(config.nprocs)
     comm = SimComm(config.nprocs, tracker)
@@ -270,8 +297,9 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     if upper is None:
         upper = reliable_upper_bound(config.depth_hint, config.error_hint,
                                      config.k)
-    with get_executor(config.executor,
-                      resolve_workers(config.workers)) as ex:
+    with active_plan(plan), \
+            get_executor(config.executor,
+                         resolve_workers(config.workers)) as ex:
         table = count_kmers(reads, config.k, comm, timer,
                             batches=config.kmer_batches, upper=upper,
                             executor=ex, impl=kmer_impl, scheme=scheme)
@@ -292,7 +320,7 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
                 mode=config.align_mode, scoring=config.scoring,
                 filt=config.filt, fuzz=config.fuzz, backend=backend,
                 executor=ex, align_impl=align_impl,
-                spgemm_impl=spgemm_impl)
+                spgemm_impl=spgemm_impl, checkpoint_dir=checkpoint_dir)
             nnz_c, R, n_strips = blk.nnz_c, blk.R, blk.n_strips
         else:
             C = candidate_overlaps(A, comm, timer, backend=backend,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ..exec import Executor, SERIAL
 from ..mpisim.comm import SimComm
+from ..resilience.faults import maybe_fault
 from ..mpisim.tracker import StageTimer
 from .backend import Backend, get_backend
 from .coomat import CooMat
@@ -36,6 +37,7 @@ def _spgemm_task(ctx, operands):
     """
     backend, semiring = ctx
     a, b, m = operands
+    maybe_fault("summa.block")
     return backend.spgemm_with_path(a, b, semiring, mask=m)
 
 

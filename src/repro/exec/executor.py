@@ -29,24 +29,44 @@ wall-clock changes.  Per-task CPU time is measured inside the worker and
 returned alongside each result so callers can keep charging compute to the
 owning simulated rank (:class:`~repro.mpisim.tracker.StageTimer`'s
 critical-path max semantics survive parallel execution).
+
+Failures are survived, not propagated wholesale: a worker exception or a
+broken pool loses *chunks*, and the pool executors re-run exactly the lost
+chunks (respawning a broken pool) under a bounded
+:class:`~repro.resilience.retry.RetryPolicy`, degrading
+process → thread → serial when a pool keeps breaking.  Because the
+ordered reduction never moves a chunk's slot and every task is a pure
+function, a run that survived any number of injected or real faults
+returns byte-identical results.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (BrokenExecutor, Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from typing import Any, Callable
 
+from ..resilience.faults import check_fault, trip
+from ..resilience.retry import DEFAULT_RETRY, RetryPolicy
 from .partition import weighted_chunks
 
 __all__ = [
     "Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
     "get_executor", "register_executor", "available_executors",
     "resolve_workers", "SERIAL", "DEFAULT_EXECUTOR", "WORKERS_ENV",
-    "EXECUTOR_ENV",
+    "EXECUTOR_ENV", "CHUNK_FAULT_SITE",
 ]
+
+log = logging.getLogger("repro.resilience")
+
+#: Fault-injection site consulted once per chunk submission (the verdict
+#: is decided in the parent and shipped with the chunk, so firing order
+#: is deterministic even under process pools).
+CHUNK_FAULT_SITE = "exec.chunk"
 
 #: Name resolved by ``get_executor("auto", workers)`` when ``workers > 1``.
 PARALLEL_DEFAULT = "process"
@@ -68,7 +88,8 @@ _CHUNKS_PER_WORKER = 2
 TaskFn = Callable[[Any, Any], Any]
 
 
-def _run_chunk(fn: TaskFn, context: Any, tasks: list) -> list[tuple[Any, float]]:
+def _run_chunk(fn: TaskFn, context: Any, tasks: list,
+               inject: str | None = None) -> list[tuple[Any, float]]:
     """Run one chunk in-order, timing each task (executes in the worker).
 
     Tasks are timed with per-thread CPU time, not wall-clock: under a
@@ -79,7 +100,13 @@ def _run_chunk(fn: TaskFn, context: Any, tasks: list) -> list[tuple[Any, float]]
     :class:`~repro.mpisim.tracker.StageTimer` breakdowns stay comparable
     across executors (for the compute-bound kernels here, serial CPU time
     ≈ serial wall time).
+
+    ``inject`` is a fault verdict decided in the parent
+    (:func:`~repro.resilience.faults.check_fault`); it fires before any
+    task runs, so an injected loss never leaks partial work.
     """
+    if inject is not None:
+        trip(inject, CHUNK_FAULT_SITE)
     out = []
     for task in tasks:
         t0 = time.thread_time()
@@ -96,13 +123,53 @@ class Executor:
     immutable stuff like the read set here).  ``weights`` are per-task cost
     estimates (nonzero counts, read lengths) driving chunk balance; results
     never depend on them.
+
+    ``retry`` bounds how failed chunks are re-run (see
+    :class:`~repro.resilience.retry.RetryPolicy`); ``recovery`` accumulates
+    one record per retry, pool respawn, or tier downgrade the executor
+    performed — empty on the fault-free path.
     """
 
     #: Registry name; set by subclasses.
     name: str = "abstract"
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1,
+                 retry: RetryPolicy | None = None) -> None:
         self.workers = max(1, int(workers))
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.recovery: list[dict] = []
+
+    def _note(self, event: str, **fields) -> None:
+        self.recovery.append({"event": event, "executor": self.name,
+                              **fields})
+
+    def _backoff(self, attempt: int, tier: str, error: str) -> None:
+        """Record (and optionally sleep) the scheduled backoff delay."""
+        delay = self.retry.delay(attempt)
+        self._note("retry", tier=tier, attempt=attempt, delay=delay,
+                   error=error)
+        log.info("repro.exec %s: attempt %d failed at tier %s (%s); "
+                 "retrying after %.3fs%s", self.name, attempt, tier, error,
+                 delay, "" if self.retry.sleep else " (recorded, not slept)")
+        if self.retry.sleep and delay > 0:
+            time.sleep(delay)
+
+    def _run_serial(self, fn: TaskFn, tasks: list, context: Any
+                    ) -> tuple[list, list[float]]:
+        """In-process execution with bounded retry of the (single) chunk."""
+        if not tasks:
+            return [], []
+        attempt = 1
+        while True:
+            try:
+                pairs = _run_chunk(fn, context, tasks,
+                                   check_fault(CHUNK_FAULT_SITE))
+                return [r for r, _ in pairs], [s for _, s in pairs]
+            except Exception as exc:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                self._backoff(attempt, "serial", repr(exc))
+                attempt += 1
 
     def run_timed(self, fn: TaskFn, tasks: list, *, context: Any = None,
                   weights=None) -> tuple[list, list[float]]:
@@ -116,7 +183,7 @@ class Executor:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Release pool resources; the executor may not be reused after."""
+        """Release pool resources (idempotent; safe on broken pools)."""
 
     def __enter__(self) -> "Executor":
         return self
@@ -134,33 +201,143 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run_timed(self, fn, tasks, *, context=None, weights=None):
-        pairs = _run_chunk(fn, context, list(tasks))
-        return [r for r, _ in pairs], [s for _, s in pairs]
+        return self._run_serial(fn, list(tasks), context)
 
 
 class _PoolExecutor(Executor):
-    """Shared chunk-submit / ordered-gather logic for the two pool kinds."""
+    """Shared chunk-submit / ordered-gather / recovery logic for pools.
 
-    def _pool(self):
-        raise NotImplementedError
+    Chunks are re-run under :attr:`retry` when a worker raises or the pool
+    breaks; a broken pool is discarded and respawned before the re-run.
+    When a tier exhausts its attempt budget the executor *degrades* along
+    :attr:`_TIERS` (process → thread → serial) with a logged downgrade —
+    the last-resort serial tier runs chunks in the parent, where real task
+    exceptions finally propagate.  Results stay byte-identical because
+    only whole chunks are re-run and each lands back in its own slot of
+    the ordered reduction.
+    """
+
+    #: Degradation chain; index 0 is the native tier.
+    _TIERS: tuple[str, ...] = ()
+
+    def __init__(self, workers: int = 1,
+                 retry: RetryPolicy | None = None) -> None:
+        super().__init__(workers, retry)
+        self._pools: dict[str, Any] = {}
+        #: Sticky degradation floor: once pool breakage forces a tier
+        #: down, later calls start there instead of re-breaking.
+        self._tier_floor = 0
+
+    def _make_pool(self, tier: str):
+        if tier == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers,
+                                      thread_name_prefix="repro-exec")
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx)
+
+    def _pool(self, tier: str):
+        pool = self._pools.get(tier)
+        if pool is None:
+            pool = self._pools[tier] = self._make_pool(tier)
+        return pool
+
+    def _discard_pool(self, tier: str) -> None:
+        """Drop (and best-effort shut down) a pool — broken or not."""
+        pool = self._pools.pop(tier, None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def close(self) -> None:
+        for tier in list(self._pools):
+            self._discard_pool(tier)
 
     def run_timed(self, fn, tasks, *, context=None, weights=None):
         tasks = list(tasks)
+        if not tasks:
+            return [], []
         if self.workers <= 1 or len(tasks) <= 1:
-            pairs = _run_chunk(fn, context, tasks)
-            return [r for r, _ in pairs], [s for _, s in pairs]
+            return self._run_serial(fn, tasks, context)
         if weights is None:
             weights = [1.0] * len(tasks)
         ranges = weighted_chunks(weights, self.workers * _CHUNKS_PER_WORKER)
-        pool = self._pool()
-        futures: list[Future] = [
-            pool.submit(_run_chunk, fn, context, tasks[lo:hi])
-            for lo, hi in ranges]
+        chunk_out: list = [None] * len(ranges)
+        pending = list(range(len(ranges)))
+        tier_i = self._tier_floor
+        attempt = 1
+        while pending:
+            tier = self._TIERS[tier_i]
+            if tier == "serial":
+                # Last resort: run the lost chunks in the parent, without
+                # injection (recovery must terminate) and without retry
+                # (a failure here is a real, deterministic task error).
+                for ci in pending:
+                    lo, hi = ranges[ci]
+                    chunk_out[ci] = _run_chunk(fn, context, tasks[lo:hi])
+                pending = []
+                break
+            failed: list[int] = []
+            broken = False
+            last_exc: BaseException | None = None
+            try:
+                pool = self._pool(tier)
+                futures: dict[int, Future] = {}
+                for ci in pending:
+                    lo, hi = ranges[ci]
+                    futures[ci] = pool.submit(
+                        _run_chunk, fn, context, tasks[lo:hi],
+                        check_fault(CHUNK_FAULT_SITE))
+            except BrokenExecutor as exc:
+                broken, failed, last_exc = True, list(pending), exc
+            else:
+                for ci in pending:
+                    try:
+                        chunk_out[ci] = futures[ci].result()
+                    except BrokenExecutor as exc:
+                        broken = True
+                        failed.append(ci)
+                        last_exc = exc
+                    except Exception as exc:
+                        failed.append(ci)
+                        last_exc = exc
+            if broken:
+                # A dead worker poisons the whole pool: discard it so the
+                # next attempt submits to a freshly spawned one.
+                self._discard_pool(tier)
+                self._note("respawn", tier=tier, chunks=len(failed))
+                log.warning("repro.exec %s: %s pool broke (%r); respawning "
+                            "(%d chunks lost)", self.name, tier, last_exc,
+                            len(failed))
+            if not failed:
+                break
+            pending = failed
+            if attempt >= self.retry.max_attempts:
+                if tier_i + 1 < len(self._TIERS):
+                    tier_i += 1
+                    attempt = 1
+                    if broken:
+                        self._tier_floor = max(self._tier_floor, tier_i)
+                    self._note("downgrade", tier=self._TIERS[tier_i],
+                               from_tier=tier, sticky=broken)
+                    log.warning(
+                        "repro.exec %s: tier %s exhausted %d attempts; "
+                        "degrading to %s%s", self.name, tier,
+                        self.retry.max_attempts, self._TIERS[tier_i],
+                        " (sticky: pool kept breaking)" if broken else "")
+                else:  # pragma: no cover - serial tier never exhausts
+                    raise last_exc
+            else:
+                self._backoff(attempt, tier, repr(last_exc))
+                attempt += 1
         results: list = []
         seconds: list[float] = []
-        # Gather in submission order = task order: the ordered reduction.
-        for fut in futures:
-            for res, sec in fut.result():
+        # Gather in chunk order = task order: the ordered reduction.
+        for pairs in chunk_out:
+            for res, sec in pairs:
                 results.append(res)
                 seconds.append(sec)
         return results, seconds
@@ -170,21 +347,7 @@ class ThreadExecutor(_PoolExecutor):
     """Thread-pool executor; shines on GIL-releasing numpy/scipy kernels."""
 
     name = "thread"
-
-    def __init__(self, workers: int = 1) -> None:
-        super().__init__(workers)
-        self._threads: ThreadPoolExecutor | None = None
-
-    def _pool(self) -> ThreadPoolExecutor:
-        if self._threads is None:
-            self._threads = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-exec")
-        return self._threads
-
-    def close(self) -> None:
-        if self._threads is not None:
-            self._threads.shutdown(wait=True)
-            self._threads = None
+    _TIERS = ("thread", "serial")
 
 
 class ProcessExecutor(_PoolExecutor):
@@ -196,28 +359,14 @@ class ProcessExecutor(_PoolExecutor):
     which is why the pipeline's task functions are module-level and carry
     their state via ``context``.  The pool is created lazily on first use
     and reused across calls, so per-stage dispatch costs a round of chunk
-    pickles, not a pool spin-up.
+    pickles, not a pool spin-up.  A chunk lost to a dying worker
+    (``BrokenProcessPool``) is re-run on a respawned pool; persistent
+    breakage degrades to a thread pool and finally to in-process serial
+    execution.
     """
 
     name = "process"
-
-    def __init__(self, workers: int = 1) -> None:
-        super().__init__(workers)
-        self._procs: ProcessPoolExecutor | None = None
-
-    def _pool(self) -> ProcessPoolExecutor:
-        if self._procs is None:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else None)
-            self._procs = ProcessPoolExecutor(max_workers=self.workers,
-                                              mp_context=ctx)
-        return self._procs
-
-    def close(self) -> None:
-        if self._procs is not None:
-            self._procs.shutdown(wait=True)
-            self._procs = None
+    _TIERS = ("process", "thread", "serial")
 
 
 #: Shared zero-state serial instance — the default for library call sites.

@@ -1,0 +1,61 @@
+"""Bounded retry with a deterministic backoff schedule.
+
+:class:`RetryPolicy` is consulted by the executors (chunk failures, pool
+breakage) and describes *how often* and *how patiently* to retry — never
+*what* the retried work produces: tasks are pure functions of their
+inputs, so a retried chunk returns byte-identical results and the ordered
+reduction places them exactly where the first attempt would have.
+
+The backoff schedule is a pure function of the attempt number
+(``base · factor^(attempt-1)``, capped), so recovery traces are
+reproducible.  By default the delays are **recorded, not slept**
+(``sleep=False``): the local pools this library drives respawn
+instantly, and the test suite asserts on the recorded schedule instead
+of waiting it out.  Deployments fronting genuinely flaky resources can
+flip ``sleep=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry failed work, and the backoff between tries.
+
+    ``max_attempts`` bounds the attempts *per degradation tier* (an
+    executor that degrades process → thread → serial grants each tier its
+    own budget, so total attempts stay bounded by
+    ``max_attempts · n_tiers``).  ``delay(attempt)`` is the scheduled
+    pause after failed attempt ``attempt`` (1-based).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got "
+                             f"{self.max_attempts}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff seconds scheduled after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ValueError(f"attempt numbers are 1-based, got {attempt}")
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                   self.backoff_max)
+
+    def schedule(self) -> list[float]:
+        """The full backoff schedule (one entry per retryable failure)."""
+        return [self.delay(a) for a in range(1, self.max_attempts)]
+
+
+#: The executors' default: three attempts, 50 ms doubling backoff,
+#: recorded rather than slept.
+DEFAULT_RETRY = RetryPolicy()

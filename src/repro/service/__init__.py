@@ -31,7 +31,7 @@ from .config import (DEFAULT_REFRESH_MODE, REFRESH_MODE_ENV, REFRESH_MODES,
                      ServiceConfig, resolve_refresh_mode)
 from .incremental import refresh
 from .query_cache import QueryCache
-from .server import AssemblyService, make_server
+from .server import (AssemblyService, BadBatch, RefreshFailed, make_server)
 from .state import AssemblyState, SessionStore
 
 __all__ = [
@@ -39,4 +39,5 @@ __all__ = [
     "DEFAULT_REFRESH_MODE", "resolve_refresh_mode",
     "AssemblyState", "SessionStore", "refresh",
     "QueryCache", "AssemblyService", "make_server",
+    "BadBatch", "RefreshFailed",
 ]

@@ -85,6 +85,7 @@ from ..exec import get_executor, resolve_workers
 from ..mpisim.comm import SimComm
 from ..mpisim.grid import ProcessGrid2D, block_bounds
 from ..mpisim.tracker import CommTracker, StageTimer
+from ..resilience.faults import maybe_fault
 from ..seqs.fasta import ReadSet
 from ..seqs.kmer_counter import (kmer_histogram, merge_histograms,
                                  reliable_upper_bound, table_from_histogram)
@@ -490,6 +491,9 @@ def refresh(state: AssemblyState, batch: ReadSet,
     mode = resolve_refresh_mode(mode if mode is not None
                                 else config.refresh_mode)
     pcfg = replace(config.pipeline, overlap_mode="monolithic")
+    # Injection point for the chaos suite: fires before any new state is
+    # built, so a failed refresh leaves nothing half-made to roll back.
+    maybe_fault("service.refresh")
     t0 = time.perf_counter()
     if len(state.reads) == 0 and len(batch) == 0:
         new = _bumped_empty(state, mode)

@@ -19,6 +19,11 @@ method    path               effect
 Queries are served from whatever state is current when they arrive;
 ingests serialize on a lock, refresh *outside* the store (readers keep
 the old version meanwhile), then commit and sweep stale cache entries.
+Commits are transactional: a refresh that fails for *any* reason —
+including faults injected via a :class:`~repro.resilience.FaultPlan` —
+leaves the store at the old version and the query cache unswept, and
+surfaces as a structured ``503`` (:class:`RefreshFailed`) so clients can
+retry the same batch against the unchanged state.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.semirings import R_END_I, R_END_J, R_OLEN, R_SUFFIX
+from ..resilience.faults import active_plan, resolve_fault_plan
 from ..seqs.dna import encode
 from ..seqs.fasta import ReadSet
 from .config import ServiceConfig
@@ -35,24 +41,76 @@ from .incremental import refresh
 from .query_cache import QueryCache
 from .state import AssemblyState, SessionStore
 
-__all__ = ["AssemblyService", "make_server"]
+__all__ = ["AssemblyService", "BadBatch", "RefreshFailed", "make_server",
+           "MAX_BODY_BYTES"]
+
+#: Largest ``POST /reads`` body the server will read (413 beyond this) —
+#: far above any sane batch, present so a bogus Content-Length cannot make
+#: the handler allocate unboundedly.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class BadBatch(ValueError):
+    """The ingest payload itself is invalid (e.g. non-DNA characters) —
+    a client error (HTTP 400), distinct from a state conflict (409)."""
+
+
+class RefreshFailed(RuntimeError):
+    """A refresh died mid-flight; nothing was committed (HTTP 503).
+
+    The session store still holds the pre-ingest version and the query
+    cache was not swept — retrying the same batch is safe.
+    """
+
+    def __init__(self, version: int, cause: BaseException) -> None:
+        super().__init__(f"refresh failed, still at version {version}: "
+                         f"{cause!r}")
+        self.version = version
+        self.cause = cause
 
 
 class AssemblyService:
-    """Session store + refresh engine + query cache, behind plain methods."""
+    """Session store + refresh engine + query cache, behind plain methods.
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    ``fault_spec`` arms a *persistent* fault plan
+    (:func:`repro.resilience.resolve_fault_plan` grammar; ``None`` defers
+    to ``REPRO_FAULT_SPEC``) whose per-site counters live as long as the
+    service — so ``service.refresh:exc@3`` fails exactly the third ingest
+    of the process, whichever client sends it.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 fault_spec: str | None = None) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.store = SessionStore(AssemblyState.initial())
         self.cache = QueryCache(self.config.cache_entries)
+        self.fault_plan = resolve_fault_plan(fault_spec)
         self._ingest_lock = threading.Lock()
 
     # -- mutation ----------------------------------------------------------
     def ingest(self, names: list[str], seqs: list[str]) -> dict:
-        """Fold a batch of reads in; returns the new version's summary."""
-        batch = ReadSet(list(names), [encode(s) for s in seqs])
+        """Fold a batch of reads in; returns the new version's summary.
+
+        All-or-nothing: the new state is built entirely outside the store,
+        so a refresh failure (raised as :class:`RefreshFailed`) leaves the
+        current version, its cache entries, and concurrent readers
+        untouched.
+        """
+        try:
+            batch = ReadSet(list(names), [encode(s) for s in seqs])
+        except ValueError as exc:
+            raise BadBatch(str(exc)) from exc
         with self._ingest_lock:
-            state = refresh(self.store.current(), batch, self.config)
+            old = self.store.current()
+            try:
+                with active_plan(self.fault_plan):
+                    state = refresh(old, batch, self.config)
+            except ValueError:
+                # State conflicts (cross-scheme deltas) pass through: the
+                # client must change its request, not retry it.
+                raise
+            except Exception as exc:
+                raise RefreshFailed(old.version, exc) from exc
             self.store.commit(state)
             self.cache.invalidate_stale(state.version)
         return {"version": state.version, "ingested": len(batch),
@@ -134,6 +192,46 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _fail(self, status: int, code: str, message: str) -> None:
+        """Structured error body: machine-readable code + human message."""
+        self._reply({"error": message, "code": code}, status)
+
+    def _read_body(self) -> bytes | None:
+        """The request body, or ``None`` after replying with the error.
+
+        Socket-level malformations get precise statuses instead of a
+        hang or a stack trace: missing Content-Length → 411, non-integer
+        or negative → 400, absurdly large → 413, a body shorter than the
+        header promised (client died mid-send) → 400.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            self._fail(411, "length-required",
+                       "Content-Length header is required")
+            return None
+        try:
+            length = int(raw)
+        except ValueError:
+            self._fail(400, "bad-content-length",
+                       f"Content-Length must be an integer, got {raw!r}")
+            return None
+        if length < 0:
+            self._fail(400, "bad-content-length",
+                       f"Content-Length must be non-negative, got {length}")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._fail(413, "payload-too-large",
+                       f"body of {length} bytes exceeds the "
+                       f"{MAX_BODY_BYTES}-byte limit")
+            return None
+        body = self.rfile.read(length)
+        if len(body) < length:
+            self._fail(400, "truncated-body",
+                       f"body ended after {len(body)} of the {length} "
+                       f"bytes Content-Length promised")
+            return None
+        return body
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         path = self.path.rstrip("/") or "/"
         try:
@@ -159,22 +257,37 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path.rstrip("/") != "/reads":
             self._reply({"error": f"unknown endpoint {self.path}"}, 404)
             return
+        body = self._read_body()
+        if body is None:
+            return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length) or b"{}")
+            payload = json.loads(body or b"{}")
+        except ValueError as exc:
+            self._fail(400, "bad-json", f"body is not valid JSON: {exc}")
+            return
+        try:
+            if not isinstance(payload, dict):
+                raise TypeError(f"expected a JSON object, got "
+                                f"{type(payload).__name__}")
             reads = payload.get("reads", [])
             names = [str(r["name"]) for r in reads]
             seqs = [str(r["seq"]) for r in reads]
         except (ValueError, KeyError, TypeError) as exc:
-            self._reply({"error": f"bad request body: {exc}"}, 400)
+            self._fail(400, "bad-batch", f"bad request body: {exc}")
             return
         try:
             self._reply(self.service.ingest(names, seqs))
+        except BadBatch as exc:
+            self._fail(400, "bad-batch", str(exc))
+        except RefreshFailed as exc:
+            # Nothing was committed; the client may retry the same batch.
+            self._reply({"error": str(exc), "code": "refresh-failed",
+                         "version": exc.version, "retryable": True}, 503)
         except ValueError as exc:
             # Refused ingests (e.g. a cross-scheme delta against the
             # session's seeding scheme) are a client-state conflict, not a
             # server fault.
-            self._reply({"error": str(exc)}, 409)
+            self._reply({"error": str(exc), "code": "conflict"}, 409)
         except Exception as exc:  # pragma: no cover - defensive
             self._reply({"error": str(exc)}, 500)
 

@@ -1,6 +1,7 @@
 """HTTP layer: endpoints, cache behaviour, ingest → version bump."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -161,3 +162,80 @@ def test_overlaps_unknown_read_is_empty(base_url, server_reads):
     status, body = _get(f"{base_url}/overlaps/999999")
     assert status == 200
     assert body["overlaps"] == []
+
+
+def _raw_request(base_url: str, request: bytes):
+    """Send raw bytes over a socket; parse the status + JSON body back.
+
+    Drives malformations urllib cannot produce (missing or lying
+    Content-Length headers, truncated bodies)."""
+    host, port = base_url[len("http://"):].rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10) as s:
+        s.sendall(request)
+        s.shutdown(socket.SHUT_WR)
+        resp = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            resp += chunk
+    status = int(resp.split(b" ", 2)[1])
+    return status, json.loads(resp.split(b"\r\n\r\n", 1)[1])
+
+
+def test_post_missing_content_length_is_411(base_url):
+    status, body = _raw_request(
+        base_url, b"POST /reads HTTP/1.1\r\nHost: t\r\n\r\n")
+    assert status == 411
+    assert body["code"] == "length-required"
+
+
+def test_post_bad_content_length_is_400(base_url):
+    for raw in (b"banana", b"-5"):
+        status, body = _raw_request(
+            base_url, b"POST /reads HTTP/1.1\r\nHost: t\r\n"
+                      b"Content-Length: " + raw + b"\r\n\r\n{}")
+        assert status == 400
+        assert body["code"] == "bad-content-length"
+
+
+def test_post_oversized_content_length_is_413(base_url):
+    status, body = _raw_request(
+        base_url, b"POST /reads HTTP/1.1\r\nHost: t\r\n"
+                  b"Content-Length: 999999999999\r\n\r\n")
+    assert status == 413
+    assert body["code"] == "payload-too-large"
+
+
+def test_post_truncated_body_is_400(base_url):
+    # Client promises 500 bytes, sends 11, hangs up: structured 400, no
+    # hang, no stack trace.
+    status, body = _raw_request(
+        base_url, b"POST /reads HTTP/1.1\r\nHost: t\r\n"
+                  b"Content-Length: 500\r\n\r\n{\"reads\": [")
+    assert status == 400
+    assert body["code"] == "truncated-body"
+
+
+def test_post_malformed_json_is_structured_400(base_url):
+    payload = b"{not json"
+    status, body = _raw_request(
+        base_url, b"POST /reads HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+        str(len(payload)).encode() + b"\r\n\r\n" + payload)
+    assert status == 400
+    assert body["code"] == "bad-json"
+    # A JSON body that isn't an object is equally a 400, not a 500.
+    payload = b"[1, 2]"
+    status, body = _raw_request(
+        base_url, b"POST /reads HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+        str(len(payload)).encode() + b"\r\n\r\n" + payload)
+    assert status == 400
+    assert body["code"] == "bad-batch"
+
+
+def test_malformed_posts_leave_version_untouched(base_url):
+    _raw_request(base_url, b"POST /reads HTTP/1.1\r\nHost: t\r\n"
+                           b"Content-Length: 500\r\n\r\n{\"reads\": [")
+    status, body = _get(f"{base_url}/version")
+    assert status == 200
+    assert body["version"] == 0
