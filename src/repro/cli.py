@@ -22,7 +22,8 @@ import sys
 
 from .align.batch import ALIGN_IMPLS
 from .core.contigs import extract_contigs
-from .core.memory import OVERLAP_MODES, format_bytes, parse_bytes
+from .core.memory import (OVERLAP_MODES, apportion_budget, format_bytes,
+                          parse_bytes)
 from .core.pipeline import STAGES, PipelineConfig, run_pipeline_from_fasta
 from .dsparse.backend import available_backends
 from .dsparse.masked import SPGEMM_IMPLS
@@ -30,6 +31,7 @@ from .exec import available_executors
 from .mpisim.machine import MACHINES
 from .seqs.dna import GenomeSpec, decode
 from .seqs.kmer_counter import KMER_IMPLS
+from .seqs.read_store import READ_STORES
 from .seqs.seeding import SEED_MODES
 from .seqs.fasta import read_fasta, write_fasta
 from .seqs.simulator import ErrorModel, ReadSimSpec, simulate_reads
@@ -150,9 +152,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "else 4)")
         p.add_argument("--memory-budget", type=_budget_bytes,
                        default=cfg.memory_budget, metavar="BYTES",
-                       help="peak candidate-matrix byte budget for blocked "
-                            "mode, e.g. 64M or 2G; the strip scheduler "
-                            "picks the smallest strip count that fits")
+                       help="byte budget for the run's big consumers, e.g. "
+                            "64M or 2G: half drives blocked mode's strip "
+                            "count, a quarter caps the k-mer counter's "
+                            "resident tables (sorted runs spill to disk "
+                            "beyond it), the rest is headroom")
+        p.add_argument("--read-store", choices=("auto",) + READ_STORES,
+                       default=cfg.read_store,
+                       help="read-base backend: 'inmem' keeps per-read "
+                            "arrays resident, 'mmap' persists the 2-bit "
+                            "code buffer to disk once and serves all SoA "
+                            "views as read-only memmaps (workers reopen by "
+                            "path; RSS stops scaling with input size); "
+                            "'auto' honors REPRO_READ_STORE, else inmem "
+                            "(results are backend-independent)")
+        p.add_argument("--store-dir", default=cfg.store_dir, metavar="DIR",
+                       help="directory for the mmap read store and k-mer "
+                            "spill runs (default: honors REPRO_STORE_DIR, "
+                            "else a self-cleaning temporary directory)")
         p.add_argument("--seed-mode", choices=("auto",) + SEED_MODES,
                        default=cfg.seed_mode,
                        help="seeding scheme: 'full' seeds with every "
@@ -278,7 +295,9 @@ def _run(args):
                          memory_budget=args.memory_budget,
                          seed_mode=args.seed_mode, seed_w=args.seed_w,
                          fault_plan=args.fault_plan,
-                         checkpoint_dir=args.checkpoint_dir)
+                         checkpoint_dir=args.checkpoint_dir,
+                         read_store=args.read_store,
+                         store_dir=args.store_dir)
     return run_pipeline_from_fasta(args.reads, cfg)
 
 
@@ -296,6 +315,14 @@ def _print_stats(result, machine_name: str) -> None:
               f"(w = {result.config.seed_w})")
     if result.overlap_mode == "blocked":
         print(f"overlap mode: blocked ({result.n_strips} strips)")
+    if result.read_store != "inmem":
+        print(f"read store: {result.read_store}")
+    if result.config.memory_budget is not None:
+        bp = apportion_budget(result.config.memory_budget)
+        print(f"memory budget: {format_bytes(bp.total)} "
+              f"(candidate {format_bytes(bp.candidate)}, "
+              f"tables {format_bytes(bp.tables)}, "
+              f"headroom {format_bytes(bp.headroom)})")
     print(f"nnz(C) = {result.nnz_c}  (c = {result.c_density:.1f})")
     print(f"nnz(R) = {result.nnz_r}  (r = {result.r_density:.1f})")
     print(f"nnz(S) = {result.nnz_s}  (s = {result.s_density:.1f}), "

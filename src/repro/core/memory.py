@@ -38,6 +38,7 @@ __all__ = [
     "CHECKPOINT_DIR_ENV",
     "coo_nbytes", "estimate_candidate_nnz", "estimate_a_nnz",
     "StripPlan", "plan_strips",
+    "BudgetPlan", "apportion_budget",
     "parse_bytes", "format_bytes", "resolve_overlap_mode",
     "resolve_checkpoint_dir",
 ]
@@ -182,13 +183,65 @@ def parse_bytes(text: str | int) -> int:
 
 
 def format_bytes(n_bytes: int) -> str:
-    """Human-readable binary-suffixed rendering (inverse of parse_bytes)."""
+    """Human-readable binary-suffixed rendering (inverse of parse_bytes).
+
+    Covers every tier :func:`parse_bytes` accepts — through TiB — so the
+    round trip ``parse_bytes(format_bytes(n))`` always lands within the
+    one-decimal rendering error (``format_bytes(parse_bytes("1.5T"))`` is
+    ``"1.5 TiB"``, not ``"1536.0 GiB"``).
+    """
     n = float(n_bytes)
-    for suffix in ("B", "KiB", "MiB", "GiB"):
-        if n < 1024 or suffix == "GiB":
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if n < 1024 or suffix == "TiB":
             return f"{n:.0f} {suffix}" if suffix == "B" else f"{n:.1f} {suffix}"
         n /= 1024
-    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+    return f"{n:.1f} TiB"  # pragma: no cover - unreachable
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """How one ``--memory-budget`` is apportioned across the big consumers.
+
+    The three resident giants of a run are the live candidate strip, the
+    per-rank k-mer tables, and everything else (matrices under SpGEMM,
+    alignment scratch, the interpreter).  One budget covers all three:
+
+    ==========  =====  ================================================
+    share       split  enforced by
+    ==========  =====  ================================================
+    candidate    1/2   :func:`plan_strips` (strip count ceil(est/share))
+    tables       1/4   spill threshold in ``count_kmers`` (per-rank)
+    headroom    rest   unmanaged slack for transient scratch
+    ==========  =====  ================================================
+
+    The split is deliberately static (not measured): both enforcement
+    mechanisms are safe-side — a smaller candidate share only adds strips,
+    a smaller table share only adds spill runs — and a static split keeps
+    the plan deterministic across backends, which the byte-identity
+    contract requires.
+    """
+
+    total: int
+    candidate: int
+    tables: int
+
+    @property
+    def headroom(self) -> int:
+        """Bytes left unassigned for transient scratch."""
+        return self.total - self.candidate - self.tables
+
+
+def apportion_budget(total: int) -> BudgetPlan:
+    """Split one byte budget across candidate strip + k-mer tables.
+
+    Candidate gets half, tables a quarter, the rest is headroom; every
+    share is at least one byte so the downstream ceilings stay positive.
+    """
+    total = int(total)
+    if total <= 0:
+        raise ValueError(f"memory budget must be positive, got {total}")
+    return BudgetPlan(total=total, candidate=max(1, total // 2),
+                      tables=max(1, total // 4))
 
 
 def resolve_overlap_mode(mode: str | None = None) -> str:

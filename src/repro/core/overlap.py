@@ -103,14 +103,18 @@ def _a_scan_task(ctx, span):
 def _a_scan_batch_task(ctx, task):
     """Executor task: one 1D rank's (read, k-mer) scan as pure column ops.
 
-    The task carries the rank's global read offset and its own SoA block
-    (:meth:`~repro.seqs.fasta.ReadSet.soa_block`); extraction, dictionary
-    lookup, and first-occurrence dedup all run over the whole block at once.
-    Output entries are ordered by (read, column) with the first-occurrence
-    position/flip per (read, k-mer) — exactly the loop task's order.
+    The task is the rank's global read span ``(lo, hi)``; the worker takes
+    its SoA block from the ReadSet in the context
+    (:meth:`~repro.seqs.fasta.ReadSet.soa_block`), so a store-backed set
+    ships only its path and each worker pages in its own block.
+    Extraction, dictionary lookup, and first-occurrence dedup all run over
+    the whole block at once.  Output entries are ordered by (read, column)
+    with the first-occurrence position/flip per (read, k-mer) — exactly
+    the loop task's order.
     """
-    table, scheme = ctx
-    lo, codes, offsets, lengths = task
+    table, scheme, reads = ctx
+    lo, hi = task
+    codes, offsets, lengths = reads.soa_block(lo, hi)
     canon, ridx, pos, flip = scheme.seeds_of_block(codes, offsets, lengths)
     col = table.lookup(canon)
     ok = col >= 0
@@ -165,10 +169,10 @@ def build_a_matrix(reads: ReadSet, table: KmerTable, grid: ProcessGrid2D,
     spans = [(int(bounds[p]), int(bounds[p + 1])) for p in range(P)]
     with timer.superstep(stage) as step:
         if impl == "batch":
-            tasks = [(lo,) + reads.soa_block(lo, hi) for lo, hi in spans]
+            pre = np.concatenate(([0], np.cumsum(reads.lengths)))
             parts, secs = executor.run_timed(
-                _a_scan_batch_task, tasks, context=(table, scheme),
-                weights=[t[1].shape[0] for t in tasks])
+                _a_scan_batch_task, spans, context=(table, scheme, reads),
+                weights=[int(pre[hi] - pre[lo]) for lo, hi in spans])
         else:
             parts, secs = executor.run_timed(
                 _a_scan_task, spans, context=(reads, table, scheme),
@@ -536,9 +540,13 @@ def _align_chunk_task(ctx, task):
     One batch-kernel invocation covers the whole chunk: seed extension,
     score filter, and overlap classification all run as column operations,
     and the surviving dovetails come back as ready-to-concatenate R COO
-    arrays (two directed rows per pair, in chunk order).
+    arrays (two directed rows per pair, in chunk order).  The context
+    carries the ReadSet itself (not its SoA arrays): a store-backed set
+    ships as just the store path, and each worker's ``soa()`` call maps
+    the shared on-disk buffer instead of receiving the bases.
     """
-    codes, offsets, lengths, k, mode, scoring, filt, fuzz = ctx
+    reads, k, mode, scoring, filt, fuzz = ctx
+    codes, offsets, lengths = reads.soa()
     gi, gj, cvals = task
     score, ba, ea, bb, eb, strand = _align_pairs_batch(
         codes, offsets, lengths, gi, gj, cvals, k, mode, scoring)
@@ -661,15 +669,17 @@ def _run_batch_impl(reads, gi, gj, cvals, ranks, weights, k, mode, scoring,
         return (np.empty(0, np.int64), np.empty(0, np.int64),
                 np.empty((0, R_NFIELDS), np.int64))
     # All reads in one shared SoA buffer (cached on the ReadSet, so blocked
-    # mode's per-strip calls reuse it): the batch kernels address sequences
-    # by (offset, stride, length) views into it, so neither the chunks nor
-    # the oriented sequences are ever copied out per pair.
-    codes, offsets, lengths = reads.soa()
+    # mode's per-strip calls reuse it; a store-backed set maps it from
+    # disk): the batch kernels address sequences by (offset, stride,
+    # length) views into it, so neither the chunks nor the oriented
+    # sequences are ever copied out per pair.  Warmed here once so serial
+    # and thread executors never rebuild it per chunk.
+    reads.soa()
 
     spans = weighted_chunks(weights, executor.workers * 2,
                             max_items=_MAX_BATCH_PAIRS)
     tasks = [(gi[lo:hi], gj[lo:hi], cvals[lo:hi]) for lo, hi in spans]
-    ctx = (codes, offsets, lengths, k, mode, scoring, filt, fuzz)
+    ctx = (reads, k, mode, scoring, filt, fuzz)
     with timer.superstep(stage) as step:
         results, secs = executor.run_timed(
             _align_chunk_task, tasks, context=ctx,

@@ -16,6 +16,9 @@ plot.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -33,12 +36,14 @@ from ..mpisim.machine import MachineModel
 from ..mpisim.tracker import CommTracker, StageTimer
 from ..resilience.faults import (FaultPlan, active_plan, current_plan,
                                  resolve_fault_plan)
-from ..seqs.fasta import ReadSet, read_fasta
+from ..seqs.fasta import ReadSet, read_fasta, read_fasta_to_store
 from ..seqs.kmer_counter import (count_kmers, reliable_upper_bound,
                                  resolve_kmer_impl)
+from ..seqs.read_store import resolve_read_store, resolve_store_dir
 from ..seqs.seeding import DEFAULT_SEED_W, make_scheme, resolve_seed_mode
 from .blocked import candidate_overlaps_blocked
-from .memory import plan_strips, resolve_checkpoint_dir, resolve_overlap_mode
+from .memory import (apportion_budget, plan_strips, resolve_checkpoint_dir,
+                     resolve_overlap_mode)
 from .overlap import (AlignmentFilter, align_candidates, build_a_matrix,
                       candidate_overlaps, exchange_reads)
 from .string_graph import StringGraph
@@ -136,6 +141,22 @@ class PipelineConfig:
     (``None`` defers to ``REPRO_CHECKPOINT_DIR``): a killed run
     re-invoked with the same directory resumes at the last completed
     strip.
+
+    ``read_store`` selects the read-base backend
+    (:func:`repro.seqs.read_store.resolve_read_store`): ``"inmem"`` keeps
+    per-read code arrays resident (the historical behavior), ``"mmap"``
+    persists the concatenated 2-bit buffer plus offsets/lengths to disk
+    once and serves every ``soa``/``soa_block`` view as a read-only
+    ``np.memmap`` — process workers reopen the store by path instead of
+    receiving the bases over the pipe, and peak RSS stops scaling with
+    input size; ``"auto"`` honors ``REPRO_READ_STORE``, else runs
+    in-memory.  Output is byte-identical across backends.  ``store_dir``
+    places the store files (``None`` defers to ``REPRO_STORE_DIR``, else
+    a self-cleaning temporary directory).  When a ``memory_budget`` is
+    set it is apportioned across the big consumers
+    (:func:`repro.core.memory.apportion_budget`): half drives the blocked
+    candidate strip count, a quarter caps the k-mer counter's resident
+    tables (sorted runs spill to disk beyond it), the rest is headroom.
     """
 
     k: int = 17
@@ -162,6 +183,8 @@ class PipelineConfig:
     seed_w: int = DEFAULT_SEED_W
     fault_plan: str | None = None
     checkpoint_dir: str | None = None
+    read_store: str = "auto"
+    store_dir: str | None = None
 
 
 @dataclass
@@ -186,6 +209,7 @@ class PipelineResult:
     kmer_impl: str = "batch"
     spgemm_impl: str = "masked"
     seed_mode: str = "full"
+    read_store: str = "inmem"
     #: The pre-reduction overlap matrix (global, canonical order).  The
     #: incremental assembly service splices delta rows into it on refresh;
     #: batch callers may ignore it.
@@ -260,12 +284,32 @@ class PipelineResult:
         return sum(self.modeled_time(machine, include_alignment).values())
 
 
+def _require_nonempty_reads(reads: ReadSet) -> None:
+    """Refuse zero-length reads before they reach k-mer extraction.
+
+    A zero-length read contributes no k-mers but still occupies a matrix
+    row, silently skewing densities and layouts; strict FASTA parsing
+    already refuses them at ingest, so one arriving here means a caller
+    constructed it directly — name it instead of propagating the skew.
+    """
+    lengths = reads.lengths
+    if lengths.shape[0] and int(lengths.min()) <= 0:
+        i = int(np.argmin(lengths))
+        raise ValueError(
+            f"read {reads.names[i]!r} (index {i}) has length 0; "
+            f"zero-length reads cannot enter k-mer extraction")
+
+
 def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
                  read_fastq_seconds: float = 0.0) -> PipelineResult:
-    """Run overlap detection + transitive reduction on an in-memory ReadSet.
+    """Run overlap detection + transitive reduction on a ReadSet.
 
     ``read_fastq_seconds`` lets :func:`run_pipeline_from_fasta` charge the
-    parse time it measured to the ``ReadFastq`` stage.
+    parse time it measured to the ``ReadFastq`` stage.  With
+    ``read_store="mmap"`` an in-memory ReadSet is persisted to an on-disk
+    store first (under ``store_dir`` when set, else a temporary directory
+    removed when the run finishes); store-backed ReadSets pass through
+    unchanged.
     """
     config = config if config is not None else PipelineConfig()
     backend = get_backend(config.backend)
@@ -276,6 +320,33 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     seed_mode = resolve_seed_mode(config.seed_mode)
     scheme = make_scheme(seed_mode, config.k, config.seed_w)
     checkpoint_dir = resolve_checkpoint_dir(config.checkpoint_dir)
+    read_store = resolve_read_store(config.read_store)
+    _require_nonempty_reads(reads)
+    store_dir = resolve_store_dir(config.store_dir)
+    tmp_store: str | None = None
+    if read_store == "mmap" and reads.store is None:
+        if store_dir is not None:
+            os.makedirs(store_dir, exist_ok=True)
+            reads = reads.to_store(os.path.join(store_dir, "reads"))
+        else:
+            tmp_store = tempfile.mkdtemp(prefix="repro-read-store-")
+            reads = reads.to_store(tmp_store)
+    elif reads.store is not None:
+        read_store = "mmap"
+    try:
+        return _run_pipeline_inner(
+            reads, config, backend, overlap_mode, align_impl, kmer_impl,
+            spgemm_impl, seed_mode, scheme, checkpoint_dir, read_store,
+            store_dir, read_fastq_seconds)
+    finally:
+        if tmp_store is not None:
+            shutil.rmtree(tmp_store, ignore_errors=True)
+
+
+def _run_pipeline_inner(reads, config, backend, overlap_mode, align_impl,
+                        kmer_impl, spgemm_impl, seed_mode, scheme,
+                        checkpoint_dir, read_store, store_dir,
+                        read_fastq_seconds):
     # Fault-plan precedence: an explicit config spec always arms a fresh
     # plan ("" pins the run fault-free); otherwise an already-armed plan
     # (e.g. the service's persistent cross-ingest plan) is left in place,
@@ -297,12 +368,21 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
     if upper is None:
         upper = reliable_upper_bound(config.depth_hint, config.error_hint,
                                      config.k)
+    # One --memory-budget covers the big consumers (see apportion_budget):
+    # the candidate share drives the strip count below, the table share
+    # caps the k-mer counter's resident tables.  The split is applied for
+    # every read-store backend so a budgeted run stays byte-identical
+    # between inmem and mmap.
+    budget = (apportion_budget(config.memory_budget)
+              if config.memory_budget is not None else None)
     with active_plan(plan), \
             get_executor(config.executor,
                          resolve_workers(config.workers)) as ex:
         table = count_kmers(reads, config.k, comm, timer,
                             batches=config.kmer_batches, upper=upper,
-                            executor=ex, impl=kmer_impl, scheme=scheme)
+                            executor=ex, impl=kmer_impl, scheme=scheme,
+                            table_budget=(budget.tables if budget else None),
+                            spill_dir=store_dir)
 
         A = build_a_matrix(reads, table, grid, comm, timer, executor=ex,
                            impl=kmer_impl, scheme=scheme)
@@ -313,7 +393,8 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         exchange_reads(reads, grid, comm)
         if overlap_mode == "blocked":
             plan = plan_strips(nnz_a, len(table), len(reads),
-                               memory_budget=config.memory_budget,
+                               memory_budget=(budget.candidate if budget
+                                              else None),
                                n_strips=config.n_strips)
             blk = candidate_overlaps_blocked(
                 A, reads, config.k, comm, plan.n_strips, timer,
@@ -345,16 +426,38 @@ def run_pipeline(reads: ReadSet, config: PipelineConfig | None = None, *,
         tr_rounds=tr.rounds, timer=timer, tracker=tracker,
         overlap_mode=overlap_mode, n_strips=n_strips,
         align_impl=align_impl, kmer_impl=kmer_impl,
-        spgemm_impl=spgemm_impl, seed_mode=seed_mode, R=R.to_global())
+        spgemm_impl=spgemm_impl, seed_mode=seed_mode,
+        read_store=read_store, R=R.to_global())
 
 
 def run_pipeline_from_fasta(path, config: PipelineConfig | None = None
                             ) -> PipelineResult:
-    """Run the pipeline on a FASTA file, timing the parse as ``ReadFastq``."""
-    t0 = time.perf_counter()
-    reads = read_fasta(path)
-    parse_seconds = time.perf_counter() - t0
+    """Run the pipeline on a FASTA file, timing the parse as ``ReadFastq``.
+
+    With ``read_store="mmap"`` the FASTA is streamed straight into the
+    on-disk store (:func:`~repro.seqs.fasta.read_fasta_to_store`) — the
+    bases are never all resident, which is the ingest path for inputs
+    larger than memory.
+    """
     cfg = config if config is not None else PipelineConfig()
-    # Parallel MPI-IO splits the parse across ranks; charge the share.
-    return run_pipeline(reads, cfg,
-                        read_fastq_seconds=parse_seconds / cfg.nprocs)
+    tmp_store: str | None = None
+    try:
+        t0 = time.perf_counter()
+        if resolve_read_store(cfg.read_store) == "mmap":
+            store_dir = resolve_store_dir(cfg.store_dir)
+            if store_dir is not None:
+                os.makedirs(store_dir, exist_ok=True)
+                target = os.path.join(store_dir, "reads")
+            else:
+                tmp_store = tempfile.mkdtemp(prefix="repro-read-store-")
+                target = tmp_store
+            reads = read_fasta_to_store(path, target)
+        else:
+            reads = read_fasta(path)
+        parse_seconds = time.perf_counter() - t0
+        # Parallel MPI-IO splits the parse across ranks; charge the share.
+        return run_pipeline(reads, cfg,
+                            read_fastq_seconds=parse_seconds / cfg.nprocs)
+    finally:
+        if tmp_store is not None:
+            shutil.rmtree(tmp_store, ignore_errors=True)

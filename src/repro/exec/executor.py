@@ -45,6 +45,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import pickle
 import time
 from concurrent.futures import (BrokenExecutor, Future, ProcessPoolExecutor,
                                 ThreadPoolExecutor)
@@ -113,6 +114,19 @@ def _run_chunk(fn: TaskFn, context: Any, tasks: list,
         res = fn(context, task)
         out.append((res, time.thread_time() - t0))
     return out
+
+
+def _run_chunk_pickled(fn: TaskFn, ctx_bytes: bytes, tasks: list,
+                       inject: str | None = None) -> list[tuple[Any, float]]:
+    """Process-pool chunk entry: the shared context arrives pre-pickled.
+
+    The parent serializes the context once per ``run_timed`` call and
+    submits the same bytes to every chunk, so a large shared context (the
+    read set, a k-mer table) costs one ``pickle.dumps`` instead of one per
+    chunk.  Unpickling happens here in the worker — for a store-backed
+    ReadSet that is just reopening the memmaps by path.
+    """
+    return _run_chunk(fn, pickle.loads(ctx_bytes), tasks, inject)
 
 
 class Executor:
@@ -283,14 +297,31 @@ class _PoolExecutor(Executor):
             failed: list[int] = []
             broken = False
             last_exc: BaseException | None = None
+            # For the process tier, serialize the shared context once and
+            # ship the same bytes with every chunk (a big context would
+            # otherwise be re-pickled per chunk by submit()).  Anything
+            # unpicklable falls back to plain submission so the pool's own
+            # error path (and the degradation ladder) still applies.
+            ctx_payload: bytes | None = None
+            if tier == "process" and context is not None:
+                try:
+                    ctx_payload = pickle.dumps(
+                        context, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    ctx_payload = None
             try:
                 pool = self._pool(tier)
                 futures: dict[int, Future] = {}
                 for ci in pending:
                     lo, hi = ranges[ci]
-                    futures[ci] = pool.submit(
-                        _run_chunk, fn, context, tasks[lo:hi],
-                        check_fault(CHUNK_FAULT_SITE))
+                    if ctx_payload is not None:
+                        futures[ci] = pool.submit(
+                            _run_chunk_pickled, fn, ctx_payload,
+                            tasks[lo:hi], check_fault(CHUNK_FAULT_SITE))
+                    else:
+                        futures[ci] = pool.submit(
+                            _run_chunk, fn, context, tasks[lo:hi],
+                            check_fault(CHUNK_FAULT_SITE))
             except BrokenExecutor as exc:
                 broken, failed, last_exc = True, list(pending), exc
             else:

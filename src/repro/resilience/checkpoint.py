@@ -28,7 +28,8 @@ import os
 import pickle
 import tempfile
 
-__all__ = ["CheckpointMismatch", "StripCheckpoint", "MANIFEST_VERSION"]
+__all__ = ["CheckpointMismatch", "StripCheckpoint", "MANIFEST_VERSION",
+           "atomic_write"]
 
 #: Manifest format version; bump on incompatible layout changes.
 MANIFEST_VERSION = 1
@@ -38,8 +39,14 @@ class CheckpointMismatch(ValueError):
     """The checkpoint directory belongs to a different run configuration."""
 
 
-def _atomic_write(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` so a crash never leaves a torn file."""
+def atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` so a crash never leaves a torn file.
+
+    Shared by every durable artifact in the tree (strip checkpoints, the
+    mmap read-store manifest and index arrays): temp file in the same
+    directory, ``fsync``, ``os.replace`` — a reader observes either the old
+    bytes or the new bytes, never a mix.
+    """
     directory = os.path.dirname(path) or "."
     fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
                                suffix=os.path.basename(path))
@@ -103,7 +110,7 @@ class StripCheckpoint:
                     f"--checkpoint-dir at an empty directory or delete "
                     f"the stale checkpoint")
         else:
-            _atomic_write(self.manifest_path, json.dumps(
+            atomic_write(self.manifest_path, json.dumps(
                 {"format": MANIFEST_VERSION,
                  "fingerprint": self.fingerprint,
                  "n_strips": self.n_strips},
@@ -120,7 +127,7 @@ class StripCheckpoint:
 
     def save(self, index: int, payload) -> None:
         """Persist one strip's result atomically."""
-        _atomic_write(self.strip_path(index),
+        atomic_write(self.strip_path(index),
                       pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
     def load(self, index: int):

@@ -6,7 +6,11 @@ from .dna import (ALPHABET, GenomeSpec, canonical, decode, encode,
 from .kmers import (MAX_K, canonical_kmers, kmer_to_string, pack_kmers,
                     read_kmers, revcomp_kmers, splitmix64, string_to_kmer)
 from .bloom import BloomFilter
-from .fasta import ReadSet, chunked_read_ranges, read_fasta, write_fasta
+from .fasta import (ReadSet, chunked_read_ranges, read_fasta,
+                    read_fasta_to_store, write_fasta)
+from .read_store import (READ_STORES, MmapReadStore, MmapStoreWriter,
+                         StoreMismatch, content_digest, resolve_read_store,
+                         resolve_store_dir)
 from .simulator import ErrorModel, ReadSimSpec, TrueLayout, simulate_reads
 from .minimizers import minimizers, minimizers_batch
 from .seeding import (SEED_MODES, FullKScheme, MinimizerScheme, SeedScheme,
@@ -19,7 +23,10 @@ __all__ = [
     "MAX_K", "canonical_kmers", "kmer_to_string", "pack_kmers", "read_kmers",
     "revcomp_kmers", "splitmix64", "string_to_kmer",
     "BloomFilter",
-    "ReadSet", "chunked_read_ranges", "read_fasta", "write_fasta",
+    "ReadSet", "chunked_read_ranges", "read_fasta", "read_fasta_to_store",
+    "write_fasta",
+    "READ_STORES", "MmapReadStore", "MmapStoreWriter", "StoreMismatch",
+    "content_digest", "resolve_read_store", "resolve_store_dir",
     "ErrorModel", "ReadSimSpec", "TrueLayout", "simulate_reads",
     "minimizers", "minimizers_batch",
     "SEED_MODES", "SeedScheme", "FullKScheme", "MinimizerScheme",

@@ -37,6 +37,8 @@ byte-identical between the two — pinned by the parity and golden suites.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,6 +52,7 @@ from .bloom import BloomFilter
 from .fasta import ReadSet
 from .kmers import splitmix64
 from .seeding import FullKScheme, SeedScheme
+from .spill import combine_histograms, merge_pair_runs, write_pair_run
 
 __all__ = ["KmerTable", "reliable_upper_bound", "count_kmers",
            "KMER_IMPLS", "KMER_IMPL_ENV", "DEFAULT_KMER_IMPL",
@@ -98,18 +101,21 @@ def _extract_task(ctx, owned_idx):
     return np.concatenate(parts) if parts else np.empty(0, np.uint64)
 
 
-def _extract_batch_task(ctx, task):
+def _extract_batch_task(ctx, span):
     """One rank's seed extraction as a single SoA sweep (batch engine).
 
-    The task carries the rank's own ``(codes, offsets, lengths)`` block
-    (:meth:`~repro.seqs.fasta.ReadSet.soa_block`), so a process pool ships
-    each worker only its reads' bases.  Output order (read-major, window
-    order within a read) matches the loop engine's concatenation exactly
-    for every :class:`~repro.seqs.seeding.SeedScheme`.
+    The task is the rank's read span ``(lo, hi)``; the worker takes its
+    ``(codes, offsets, lengths)`` block from the ReadSet in the context
+    (:meth:`~repro.seqs.fasta.ReadSet.soa_block`).  With the mmap read
+    store a process pool ships only the store path and each worker pages
+    in its own block; in-memory sets ride along in the (pre-pickled)
+    context.  Output order (read-major, window order within a read)
+    matches the loop engine's concatenation exactly for every
+    :class:`~repro.seqs.seeding.SeedScheme`.
     """
-    scheme = ctx
-    codes, offsets, lengths = task
-    return scheme.seeds_of_block(codes, offsets, lengths)[0]
+    scheme, reads = ctx
+    lo, hi = span
+    return scheme.seeds_of_block(*reads.soa_block(lo, hi))[0]
 
 
 def _pass1_task(ctx, task):
@@ -225,6 +231,99 @@ def _merge_admitted(keys: np.ndarray, counts: np.ndarray,
         return (np.insert(keys, at, fresh),
                 np.insert(counts, at, 0))
     return cand, np.zeros(cand.shape[0], dtype=np.int64)
+
+
+def _group_by_dest_masks(sl: np.ndarray, dl: np.ndarray, nprocs: int
+                         ) -> list[np.ndarray]:
+    """Reference send-list construction: one boolean mask per rank."""
+    return [sl[dl == q] for q in range(nprocs)]
+
+
+def _group_by_dest_sorted(sl: np.ndarray, dl: np.ndarray, nprocs: int
+                          ) -> list[np.ndarray]:
+    """Batch engine's send-list construction: one stable sort.
+
+    A stable sort by destination groups the k-mers per rank while
+    preserving their original relative order, so every per-destination
+    subarray is byte-identical to the mask-based reference — in one
+    pass instead of ``nprocs``.
+    """
+    order = np.argsort(dl, kind="stable")
+    sl = sl[order]
+    cuts = np.searchsorted(dl[order], np.arange(1, nprocs, dtype=np.int64))
+    return np.split(sl, cuts)
+
+
+# -- spillable (out-of-core) engine tasks -----------------------------------
+
+def _seed_count_task(ctx, span):
+    """Per-read seed counts over one rank's read span (spill engine).
+
+    Swept in fixed sub-blocks so the transient extraction buffer stays
+    bounded regardless of span size — the whole point of the budgeted
+    path.  The counts feed the per-rank prefix sums that let each exchange
+    round re-extract exactly its slice of the seed stream.
+    """
+    scheme, reads = ctx
+    lo, hi = span
+    counts = np.zeros(hi - lo, dtype=np.int64)
+    for sub in range(lo, hi, 2048):
+        sub_hi = min(sub + 2048, hi)
+        keys, ridx = scheme.seeds_of_block(
+            *reads.soa_block(sub, sub_hi))[:2]
+        counts[sub - lo:sub_hi - lo] = np.bincount(
+            ridx, minlength=sub_hi - sub)[:sub_hi - sub]
+    return counts
+
+
+def _round_extract_task(ctx, task):
+    """One rank's send lists for one exchange round (spill engine).
+
+    ``task = (r0, r1, skip, take)``: extract the seeds of reads
+    ``[r0, r1)``, drop the first ``skip`` (they belong to earlier rounds)
+    and keep ``take``.  Because seed extraction is read-major and
+    :func:`~repro.seqs.kmers.splitmix64` is elementwise, slicing the
+    re-extracted stream is byte-identical to slicing the resident engine's
+    one-shot extraction — same keys, same destinations, same
+    stable-sorted per-destination subarrays, hence the same alltoallv
+    traffic.
+    """
+    scheme, reads, nprocs = ctx
+    r0, r1, skip, take = task
+    keys = scheme.seeds_of_block(*reads.soa_block(r0, r1))[0]
+    keys = keys[skip:skip + take]
+    dl = (splitmix64(keys) % np.uint64(nprocs)).astype(np.int64)
+    return _group_by_dest_sorted(keys, dl, nprocs)
+
+
+def _round_hist_task(ctx, incoming):
+    """One owner rank's ``(distinct key, count)`` histogram of a round."""
+    if incoming.size == 0:
+        return np.empty(0, np.uint64), np.empty(0, np.int64)
+    uniq, cnt = np.unique(incoming, return_counts=True)
+    return uniq, cnt.astype(np.int64)
+
+
+def _reliable_spill_task(ctx, runs):
+    """Reliable selection at one owner rank from its spill runs.
+
+    A chunked k-way merge-sum of the rank's sorted runs yields the exact
+    per-key totals in bounded memory; the ``[lower, upper]`` filter over
+    them is the rank's reliable set (see :func:`table_from_histogram` for
+    why that equals the two-pass Bloom-admitted tables when
+    ``lower >= 2``).
+    """
+    lower, upper, chunk_items = ctx
+    kparts: list[np.ndarray] = []
+    cparts: list[np.ndarray] = []
+    for keys, counts in merge_pair_runs(runs, chunk_items=chunk_items):
+        keep = (counts >= lower) & (counts <= upper)
+        if keep.any():
+            kparts.append(keys[keep])
+            cparts.append(counts[keep])
+    if not kparts:
+        return np.empty(0, np.uint64), np.empty(0, np.int64)
+    return np.concatenate(kparts), np.concatenate(cparts)
 
 
 def kmer_histogram(reads: ReadSet, k: int,
@@ -349,7 +448,9 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
                 lower: int = 2, upper: int = 8,
                 executor: Executor | None = None,
                 impl: str | None = None,
-                scheme: SeedScheme | None = None) -> KmerTable:
+                scheme: SeedScheme | None = None,
+                table_budget: int | None = None,
+                spill_dir: str | None = None) -> KmerTable:
     """Distributed two-pass k-mer counting.
 
     Parameters
@@ -383,6 +484,19 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
         each read are counted; ``None`` keeps the full-k default (every
         window — the paper's behavior, byte-identical to the historical
         hardwired path).
+    table_budget:
+        Optional byte ceiling for the resident per-rank tables.  When set
+        (and the batch engine with ``lower >= 2`` is active), counting
+        runs the out-of-core engine: each rank buffers per-round
+        histograms up to its ``table_budget / P`` share, spills them to
+        sorted disk runs, and k-way merges the runs at reliable-selection
+        time — byte-identical table and communication records, bounded
+        memory.  ``lower < 2`` (or the ``loop`` oracle) ignores the budget
+        and stays resident: below 2 the Bloom admission is not a pure
+        histogram filter, and the oracle's job is to be simple.
+    spill_dir:
+        Directory under which the spill runs' temporary directory is
+        created (``None`` = the system temp dir).  Always removed on exit.
 
     Returns
     -------
@@ -394,16 +508,22 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
     executor = executor if executor is not None else SERIAL
     impl = resolve_kmer_impl(impl)
     scheme = scheme if scheme is not None else FullKScheme(k)
+    if table_budget is not None and impl == "batch" and lower >= 2:
+        return _count_kmers_spill(
+            reads, k, comm, timer, batches=batches, lower=lower,
+            upper=upper, executor=executor, scheme=scheme,
+            table_budget=table_budget, spill_dir=spill_dir)
     bounds = block_bounds(len(reads), P)
 
     # Extract (canonical) seed k-mers per rank once; reused by both passes.
     with timer.superstep(STAGE) as step:
         if impl == "batch":
-            tasks = [reads.soa_block(int(bounds[p]), int(bounds[p + 1]))
+            spans = [(int(bounds[p]), int(bounds[p + 1]))
                      for p in range(P)]
+            pre = np.concatenate(([0], np.cumsum(reads.lengths)))
             rank_kmers, secs = executor.run_timed(
-                _extract_batch_task, tasks, context=scheme,
-                weights=[blk[0].shape[0] for blk in tasks])
+                _extract_batch_task, spans, context=(scheme, reads),
+                weights=[int(pre[hi] - pre[lo]) for lo, hi in spans])
         else:
             owned = _partition_reads(reads, P)
             rank_kmers, secs = executor.run_timed(
@@ -418,27 +538,10 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
     blooms = [BloomFilter(max(64, total_kmers // max(1, P)), bloom_fp)
               for _ in range(P)]
 
-    def _group_by_dest_masks(sl: np.ndarray, dl: np.ndarray
-                             ) -> list[np.ndarray]:
-        """Reference send-list construction: one boolean mask per rank."""
-        return [sl[dl == q] for q in range(P)]
-
-    def _group_by_dest_sorted(sl: np.ndarray, dl: np.ndarray
-                              ) -> list[np.ndarray]:
-        """Batch engine's send-list construction: one stable sort.
-
-        A stable sort by destination groups the k-mers per rank while
-        preserving their original relative order, so every per-destination
-        subarray is byte-identical to the mask-based reference — in one
-        pass instead of ``P``.
-        """
-        order = np.argsort(dl, kind="stable")
-        sl = sl[order]
-        cuts = np.searchsorted(dl[order], np.arange(1, P, dtype=np.int64))
-        return np.split(sl, cuts)
-
-    group_by_dest = (_group_by_dest_sorted if impl == "batch"
-                     else _group_by_dest_masks)
+    def group_by_dest(sl: np.ndarray, dl: np.ndarray) -> list[np.ndarray]:
+        if impl == "batch":
+            return _group_by_dest_sorted(sl, dl, P)
+        return _group_by_dest_masks(sl, dl, P)
     # The batch engine builds each round's send lists once and replays them
     # in pass 2 (both passes ship exactly the same k-mers to the same
     # owners); the loop reference rebuilds them per pass.  The cache holds
@@ -557,6 +660,141 @@ def count_kmers(reads: ReadSet, k: int, comm: SimComm,
             rel_fn, rel_tables, context=(lower, upper),
             weights=rel_weights)
         step.charge_many(range(P), secs)
+    comm.allgather([p[0] for p in rel_parts], stage=STAGE)
+    all_k = np.concatenate([p[0] for p in rel_parts])
+    all_c = np.concatenate([p[1] for p in rel_parts])
+    order = np.argsort(all_k)
+    return KmerTable(k=k, kmers=all_k[order], counts=all_c[order],
+                     lower=lower, upper=upper)
+
+
+def _count_kmers_spill(reads: ReadSet, k: int, comm: SimComm,
+                       timer: StageTimer, *, batches: int, lower: int,
+                       upper: int, executor: Executor, scheme: SeedScheme,
+                       table_budget: int, spill_dir: str | None
+                       ) -> KmerTable:
+    """Out-of-core counting: spillable sorted-run tables, exact output.
+
+    The resident batch engine holds three table-shaped giants: the full
+    extracted seed stream, the cached per-round send lists, and the
+    per-rank admission/count tables.  This engine bounds all three at a
+    ``table_budget`` while producing the *identical* :class:`KmerTable`
+    and the *identical* communication records:
+
+    1. **Counting sweep** — per-read seed counts (bounded sub-blocks)
+       give each rank a prefix array over its seed stream, so any round's
+       slice ``[(n·b)/batches, (n·(b+1))/batches)`` maps to a read range
+       plus skip/take offsets.
+    2. **Pass 1, per round** — re-extract exactly that slice, hash and
+       stable-group by owner (byte-identical send lists to the resident
+       engine, see :func:`_round_extract_task`), exchange, and reduce each
+       owner's incoming to its ``(distinct key, count)`` histogram.
+       Owners buffer histograms up to their ``table_budget / P`` share,
+       then merge-sum and flush a sorted run to disk
+       (:func:`~repro.seqs.spill.write_pair_run`).
+    3. **Pass 2** — the two-pass protocol's second exchange ships the
+       same k-mers to the same owners, so its traffic is replayed from
+       the recorded round sizes with placeholder payloads: the simulated
+       communicator charges bytes and message counts from array sizes
+       only, making the replayed accounting byte-identical while the
+       placeholder pages are never even touched.
+    4. **Reliable selection** — each rank k-way merge-sums its runs in
+       bounded chunks and keeps keys with total count in
+       ``[lower, upper]``.  For ``lower >= 2`` this is exactly the
+       Bloom-admitted two-pass table (:func:`table_from_histogram`'s
+       argument: admission only ever adds singletons beyond the
+       ``count >= 2`` keys, and those fall to the lower bound), so no
+       admission state needs to exist at all.
+
+    The trade is one extra extraction sweep (the counting pass) for a
+    resident footprint that no longer scales with the table size — the
+    out-of-core half of the ROADMAP's "inputs ≫ RAM" item.
+    """
+    P = comm.nprocs
+    bounds = block_bounds(len(reads), P)
+    spans = [(int(bounds[p]), int(bounds[p + 1])) for p in range(P)]
+
+    with timer.superstep(STAGE) as step:
+        counts_out, secs = executor.run_timed(
+            _seed_count_task, spans, context=(scheme, reads),
+            weights=[hi - lo for lo, hi in spans])
+        step.charge_many(range(P), secs)
+    kcs = [np.concatenate(([0], np.cumsum(c))) for c in counts_out]
+
+    share = max(1, int(table_budget) // P)
+    if spill_dir is not None:
+        os.makedirs(spill_dir, exist_ok=True)
+    tmpdir = tempfile.mkdtemp(prefix="repro-kmer-spill-", dir=spill_dir)
+    try:
+        runs: list[list] = [[] for _ in range(P)]
+        buffers: list[list] = [[] for _ in range(P)]
+        live = [0] * P
+
+        def flush(q: int) -> None:
+            if not buffers[q]:
+                return
+            uniq, cnt = combine_histograms(buffers[q])
+            path = os.path.join(tmpdir,
+                                f"rank{q:03d}_run{len(runs[q]):04d}.bin")
+            runs[q].append(write_pair_run(path, uniq, cnt))
+            buffers[q].clear()
+            live[q] = 0
+
+        # Pass 1: extract-exchange-histogram one round at a time.
+        sizes: list[list[list[int]]] = []
+        for b in range(batches):
+            tasks = []
+            for p in range(P):
+                kc = kcs[p]
+                n = int(kc[-1])
+                lo, hi = (n * b) // batches, (n * (b + 1)) // batches
+                r0 = int(np.searchsorted(kc, lo, side="right")) - 1
+                r1 = int(np.searchsorted(kc, hi, side="left"))
+                tasks.append((spans[p][0] + r0, spans[p][0] + r1,
+                              lo - int(kc[r0]), hi - lo))
+            with timer.superstep(STAGE) as step:
+                send, secs = executor.run_timed(
+                    _round_extract_task, tasks, context=(scheme, reads, P),
+                    weights=[t[3] for t in tasks])
+                step.charge_many(range(P), secs)
+            sizes.append([[int(arr.shape[0]) for arr in send[p]]
+                          for p in range(P)])
+            recv = comm.alltoallv(send, stage=STAGE)
+            incoming = [np.concatenate(recv[q]) if recv[q] else
+                        np.empty(0, np.uint64) for q in range(P)]
+            with timer.superstep(STAGE) as step:
+                hists, secs = executor.run_timed(
+                    _round_hist_task, incoming,
+                    weights=[inc.shape[0] for inc in incoming])
+                step.charge_many(range(P), secs)
+            for q, (uniq, cnt) in enumerate(hists):
+                if uniq.shape[0] == 0:
+                    continue
+                buffers[q].append((uniq, cnt))
+                live[q] += uniq.nbytes + cnt.nbytes
+                if live[q] >= share:
+                    flush(q)
+        for q in range(P):
+            flush(q)
+
+        # Pass 2: replay the second exchange's traffic from the recorded
+        # sizes.  The payload of a size-matched placeholder is never read
+        # (pass 2 exists for the protocol's communication cost), so the
+        # accounting is identical without re-extracting anything.
+        for b in range(batches):
+            send = [[np.empty(sizes[b][p][q], np.uint64)
+                     for q in range(P)] for p in range(P)]
+            comm.alltoallv(send, stage=STAGE)
+
+        with timer.superstep(STAGE) as step:
+            rel_parts, secs = executor.run_timed(
+                _reliable_spill_task, runs,
+                context=(lower, upper, 1 << 16),
+                weights=[sum(r.n for r in rq) for rq in runs])
+            step.charge_many(range(P), secs)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
     comm.allgather([p[0] for p in rel_parts], stage=STAGE)
     all_k = np.concatenate([p[0] for p in rel_parts])
     all_c = np.concatenate([p[1] for p in rel_parts])

@@ -490,7 +490,11 @@ def refresh(state: AssemblyState, batch: ReadSet,
     config = config if config is not None else ServiceConfig()
     mode = resolve_refresh_mode(mode if mode is not None
                                 else config.refresh_mode)
-    pcfg = replace(config.pipeline, overlap_mode="monolithic")
+    # Pin the in-memory read backend too: the service's versioned states
+    # extend/concat their ReadSets across refreshes, and a per-refresh
+    # store rebuild would put an ingest-sized disk write on every delta.
+    pcfg = replace(config.pipeline, overlap_mode="monolithic",
+                   read_store="inmem")
     # Injection point for the chaos suite: fires before any new state is
     # built, so a failed refresh leaves nothing half-made to roll back.
     maybe_fault("service.refresh")

@@ -100,6 +100,8 @@ def test_parser_defaults_match_pipeline_config():
         assert args.memory_budget == cfg.memory_budget
         assert args.seed_mode == cfg.seed_mode
         assert args.seed_w == cfg.seed_w
+        assert args.read_store == cfg.read_store
+        assert args.store_dir == cfg.store_dir
 
 
 def test_stats_prints_kmer_engine(tmp_path, capsys):

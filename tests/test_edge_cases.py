@@ -73,14 +73,17 @@ def test_kmer_table_lookup_on_empty_table():
     assert out[0] == -1
 
 
-def test_fasta_headers_without_sequences_yield_empty_reads():
-    """Empty-bodied records parse as zero-length reads (and the pipeline
-    tolerates them — they simply contribute no k-mers)."""
-    rs = read_fasta(io.StringIO(">only_header\n>another\n"))
-    assert len(rs) == 2
-    assert all(s.shape[0] == 0 for s in rs.seqs)
-    rs = read_fasta(io.StringIO(">x\n\n"))
-    assert len(rs) == 1 and rs.seqs[0].shape[0] == 0
+def test_fasta_headers_without_sequences_are_rejected():
+    """Empty-bodied records are malformed input, refused by name.
+
+    (They used to parse as zero-length reads: the post-loop
+    ``len(seqs) != len(names)`` check was dead code because the empty
+    record *was* appended, and zero-length reads then leaked into k-mer
+    extraction.)"""
+    with pytest.raises(ValueError, match="'only_header'"):
+        read_fasta(io.StringIO(">only_header\n>another\nACGT\n"))
+    with pytest.raises(ValueError, match="'x'"):
+        read_fasta(io.StringIO(">x\n\n"))
 
 
 def test_string_graph_empty_walk_is_valid():

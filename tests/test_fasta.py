@@ -4,6 +4,7 @@ import io
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.seqs.dna import decode, encode
 from repro.seqs.fasta import (ReadSet, chunked_read_ranges, read_fasta,
@@ -108,6 +109,98 @@ def test_readset_extend_invalidates_soa_cache():
     with pytest.raises(ValueError):
         rs.extend(["a", "b"], [extra])
     assert len(rs) == n0 + 1
+
+
+# -- malformed-input rejection ---------------------------------------------
+#
+# Regression: read_fasta validated `len(seqs) != len(names)` after the
+# parse loop, but the loop appended an empty array for a sequence-less
+# record, so the check could never fire and zero-length reads flowed
+# straight into k-mer extraction.
+
+def test_read_fasta_rejects_empty_record_issue_repro():
+    # The exact shape from the issue: three headers, one sequence.
+    # Previously parsed as 3 reads of lengths 0 / 4 / 0.
+    with pytest.raises(ValueError, match="'a'"):
+        read_fasta(io.StringIO(">a\n>b\nACGT\n>c\n"))
+
+
+def test_read_fasta_rejects_trailing_empty_record():
+    with pytest.raises(ValueError, match="'c'"):
+        read_fasta(io.StringIO(">b\nACGT\n>c\n"))
+
+
+def test_read_fasta_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate record name 'x'"):
+        read_fasta(io.StringIO(">x\nACGT\n>x\nTTTT\n"))
+
+
+def test_read_fasta_rejects_nameless_header():
+    with pytest.raises(ValueError, match="header with no name"):
+        read_fasta(io.StringIO(">\nACGT\n"))
+
+
+def test_read_fasta_rejects_data_before_header():
+    with pytest.raises(ValueError, match="before any '>' header"):
+        read_fasta(io.StringIO("ACGT\n>a\nACGT\n"))
+
+
+def test_read_fasta_empty_file_is_empty_readset():
+    rs = read_fasta(io.StringIO(""))
+    assert len(rs) == 0
+
+
+def test_pipeline_guard_rejects_zero_length_reads():
+    """Defence in depth: even a hand-built ReadSet with an empty read is
+    refused by run_pipeline before k-mer extraction, naming the read."""
+    from repro.core.pipeline import PipelineConfig, run_pipeline
+    rs = ReadSet(["ok", "empty"],
+                 [encode("ACGTACGTACGTACGTACGT"),
+                  np.zeros(0, dtype=np.uint8)])
+    with pytest.raises(ValueError, match="'empty'"):
+        run_pipeline(rs, PipelineConfig(k=5, nprocs=1))
+
+
+# -- property: write/read round trip ----------------------------------------
+
+_NAME = st.from_regex(r"[A-Za-z0-9_.-]{1,12}", fullmatch=True)
+_SEQ = st.text(alphabet="ACGT", min_size=1, max_size=200)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=st.lists(st.tuples(_NAME, _SEQ), min_size=0, max_size=8,
+                        unique_by=lambda r: r[0]),
+       width=st.integers(min_value=1, max_value=100))
+def test_write_read_roundtrip_property(records, width):
+    rs = ReadSet([n for n, _ in records], [encode(s) for _, s in records])
+    buf = io.StringIO()
+    write_fasta(buf, rs, width=width)
+    back = read_fasta(io.StringIO(buf.getvalue()))
+    assert back.names == rs.names
+    for a, b in zip(back.seqs, rs.seqs):
+        assert np.array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=st.lists(st.tuples(_NAME, _SEQ), min_size=1, max_size=5,
+                        unique_by=lambda r: r[0]),
+       data=st.data())
+def test_read_fasta_ignores_blank_lines_and_descriptions(records, data):
+    lines = []
+    for name, seq in records:
+        desc = data.draw(st.sampled_from(["", " description words"]))
+        lines.append(f">{name}{desc}")
+        pos = 0
+        while pos < len(seq):
+            step = data.draw(st.integers(min_value=1, max_value=len(seq)))
+            lines.append(seq[pos:pos + step])
+            pos += step
+            if data.draw(st.booleans()):
+                lines.append("")  # stray blank line
+    rs = read_fasta(io.StringIO("\n".join(lines) + "\n"))
+    assert rs.names == [n for n, _ in records]
+    for arr, (_, seq) in zip(rs.seqs, records):
+        assert decode(arr) == seq
 
 
 def test_readset_concat_is_copy_on_write():

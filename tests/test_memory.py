@@ -1,8 +1,10 @@
 """Tests for the memory-budget strip scheduler (repro.core.memory)."""
 
 import pytest
+from hypothesis import given, strategies as st
 
-from repro.core.memory import (DEFAULT_N_STRIPS, OVERLAP_MODE_ENV, coo_nbytes,
+from repro.core.memory import (DEFAULT_N_STRIPS, OVERLAP_MODE_ENV,
+                               apportion_budget, coo_nbytes,
                                estimate_candidate_nnz, format_bytes,
                                parse_bytes, plan_strips, resolve_overlap_mode)
 from repro.core.semirings import C_NFIELDS
@@ -38,6 +40,52 @@ def test_format_bytes_roundtrips_magnitude():
     assert format_bytes(64 * 2**10) == "64.0 KiB"
     assert format_bytes(int(2.5 * 2**20)) == "2.5 MiB"
     assert format_bytes(3 * 2**30) == "3.0 GiB"
+
+
+def test_format_bytes_has_tebibyte_tier():
+    # Regression: parse_bytes accepted "1.5T" but format_bytes topped out
+    # at GiB, so the round trip printed "1536.0 GiB".
+    assert format_bytes(parse_bytes("1.5T")) == "1.5 TiB"
+    assert format_bytes(2**40) == "1.0 TiB"
+    assert format_bytes(2048 * 2**40) == "2048.0 TiB"  # TiB is terminal
+
+
+@given(st.integers(min_value=0, max_value=2**52))
+def test_format_bytes_parse_roundtrip(n):
+    """parse_bytes(format_bytes(n)) recovers n up to the one-decimal
+    rendering precision of the printed unit."""
+    text = format_bytes(n)
+    back = parse_bytes(text.replace(" ", ""))
+    unit = 1
+    for suffix, mult in (("KiB", 2**10), ("MiB", 2**20),
+                         ("GiB", 2**30), ("TiB", 2**40)):
+        if text.endswith(suffix):
+            unit = mult
+    assert abs(back - n) <= unit // 10 + 1
+
+
+# -- budget apportionment ---------------------------------------------------
+
+def test_apportion_budget_shares():
+    plan = apportion_budget(1024)
+    assert plan.total == 1024
+    assert plan.candidate == 512
+    assert plan.tables == 256
+    assert plan.headroom == 256
+    assert plan.candidate + plan.tables + plan.headroom == plan.total
+
+
+def test_apportion_budget_tiny_budgets_stay_positive():
+    for total in (1, 2, 3, 5):
+        plan = apportion_budget(total)
+        assert plan.candidate >= 1 and plan.tables >= 1
+
+
+def test_apportion_budget_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        apportion_budget(0)
+    with pytest.raises(ValueError):
+        apportion_budget(-64)
 
 
 # -- the density estimate ---------------------------------------------------
